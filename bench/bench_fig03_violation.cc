@@ -1,0 +1,39 @@
+// Figure 3: probability that a stripe placed by the *preliminary* EAR
+// violates rack-level fault tolerance, versus the number of racks R, for
+// k in {6, 8, 10, 12}.  Prints both the Equation (1) closed form and a
+// Monte-Carlo estimate over actual random placements.
+//
+// Paper expectation: f is close to 1 for small R (0.97 at k=12, R=16) and
+// decreases as R grows; larger k shifts the curve up.
+#include "analysis/availability.h"
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace ear;
+  const FlagParser flags(argc, argv);
+  const int trials = static_cast<int>(flags.get_int("trials", 100000));
+  const uint64_t seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+
+  bench::header("Figure 3",
+                "P(stripe violates rack fault tolerance) under preliminary "
+                "EAR");
+  bench::row("%6s | %10s %10s | %10s %10s | %10s %10s | %10s %10s", "racks",
+             "k=6 eq1", "k=6 mc", "k=8 eq1", "k=8 mc", "k=10 eq1", "k=10 mc",
+             "k=12 eq1", "k=12 mc");
+  for (int racks = 14; racks <= 60; racks += 2) {
+    double eq[4], mc[4];
+    const int ks[4] = {6, 8, 10, 12};
+    for (int i = 0; i < 4; ++i) {
+      eq[i] = analysis::preliminary_violation_probability(racks, ks[i]);
+      mc[i] = analysis::preliminary_violation_probability_mc(
+          racks, ks[i], trials, seed + static_cast<uint64_t>(racks * 4 + i));
+    }
+    bench::row("%6d | %10.4f %10.4f | %10.4f %10.4f | %10.4f %10.4f | "
+               "%10.4f %10.4f",
+               racks, eq[0], mc[0], eq[1], mc[1], eq[2], mc[2], eq[3], mc[3]);
+  }
+  bench::note("paper anchor: f ~= 0.97 for k = 12, R = 16");
+  bench::row("anchor check: f(16, 12) = %.4f",
+             ear::analysis::preliminary_violation_probability(16, 12));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 9, Experiment A.2: impact of encoding on write performance.  A
+// Poisson write stream runs alone for a warm-up window, then the encoding
+// job starts; we record per-request write response times and the total
+// encoding time for RR vs EAR.
+//
+// Paper expectation: similar write response times before encoding; during
+// encoding EAR cuts the average write response time (~12%) and the overall
+// encoding time (~32%, at (10,8) with writes competing).
+#include <chrono>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "bench/testbed_util.h"
+#include "cfs/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace ear;
+  const FlagParser flags(argc, argv);
+  const double write_rate = flags.get_double("write-rate", 3.0);
+  const double warmup_s = flags.get_double("warmup", 3.0);
+
+  bench::header("Figure 9", "write response times while encoding runs");
+
+  double encode_time[2] = {0, 0};
+  double before_mean[2] = {0, 0};
+  double during_mean[2] = {0, 0};
+
+  for (const bool use_ear : {false, true}) {
+    auto params = bench::TestbedParams::from_flags(flags);
+    auto testbed = bench::make_loaded_testbed(params, use_ear);
+
+    cfs::WriteWorkload writes(*testbed.cfs, write_rate, 7);
+    writes.start();
+    std::this_thread::sleep_for(std::chrono::duration<double>(warmup_s));
+
+    cfs::RaidNode raid(*testbed.cfs, 12);
+    const auto encode_start = std::chrono::steady_clock::now();
+    const cfs::EncodeReport report = raid.encode_stripes(testbed.stripes);
+    (void)encode_start;
+    writes.stop();
+
+    Summary before, during;
+    for (const auto& [issue, response] : writes.samples()) {
+      (issue < warmup_s ? before : during).add(response);
+    }
+    const int idx = use_ear ? 1 : 0;
+    encode_time[idx] = report.duration_s;
+    before_mean[idx] = before.empty() ? 0 : before.mean();
+    during_mean[idx] = during.empty() ? 0 : during.mean();
+
+    bench::row("%-4s: encode time %6.2f s | write response before %7.4f s, "
+               "during %7.4f s (%zu writes)",
+               use_ear ? "EAR" : "RR", report.duration_s, before_mean[idx],
+               during_mean[idx], writes.samples().size());
+
+    // Response-time timeline (averaged buckets of 3 requests, as in the
+    // paper's plot).
+    const auto samples = writes.samples();
+    std::printf("  timeline:");
+    for (size_t i = 0; i + 2 < samples.size(); i += 3) {
+      const double avg = (samples[i].second + samples[i + 1].second +
+                          samples[i + 2].second) /
+                         3.0;
+      std::printf(" %.0f:%.3f", samples[i].first, avg);
+    }
+    std::printf("\n");
+  }
+
+  bench::row("encoding time reduction: %5.1f%% (paper: 31.6%%)",
+             100.0 * (1.0 - encode_time[1] / encode_time[0]));
+  if (during_mean[0] > 0) {
+    bench::row("write response reduction during encoding: %5.1f%% "
+               "(paper: 12.4%%)",
+               100.0 * (1.0 - during_mean[1] / during_mean[0]));
+  }
+  return 0;
+}

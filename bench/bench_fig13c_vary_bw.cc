@@ -1,0 +1,26 @@
+// Figure 13(c), Experiment B.2: normalized EAR/RR throughput vs the link
+// bandwidth of top-of-rack switches and the network core.
+//
+// Paper expectation: the scarcer the bandwidth, the bigger EAR's advantage —
+// encoding gain reaches ~165% at 0.2 Gb/s and shrinks toward 2 Gb/s.
+#include "bench/sweep_util.h"
+
+int main(int argc, char** argv) {
+  using namespace ear;
+  const FlagParser flags(argc, argv);
+  const int runs = static_cast<int>(flags.get_int("runs", 5));
+
+  bench::header("Figure 13(c)", "EAR/RR normalized throughput vs link bw");
+  bench::print_ratio_header();
+  for (const double gb : {0.2, 0.5, 1.0, 1.5, 2.0}) {
+    auto cfg = bench::default_b2_config(flags);
+    cfg.net.node_bw = gbps(gb);
+    cfg.net.rack_uplink_bw = gbps(gb);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f Gb/s", gb);
+    bench::print_ratio_row(label, bench::run_pairs(cfg, runs));
+  }
+  bench::note("paper: encode gain 165.2% at 0.2 Gb/s, decreasing with bw; "
+              "write gain ~20%");
+  return 0;
+}

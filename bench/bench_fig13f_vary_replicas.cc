@@ -1,0 +1,27 @@
+// Figure 13(f), Experiment B.2: normalized EAR/RR throughput vs the number
+// of replicas per block, each replica in its own rack.
+//
+// Paper expectation: the encoding gain stays ~70%; the write gain shrinks
+// from ~35% (2 replicas) to ~2.5% (8 replicas) since replication traffic
+// dominates and RR downloads relatively less during encoding.
+#include "bench/sweep_util.h"
+
+int main(int argc, char** argv) {
+  using namespace ear;
+  const FlagParser flags(argc, argv);
+  const int runs = static_cast<int>(flags.get_int("runs", 5));
+
+  bench::header("Figure 13(f)",
+                "EAR/RR normalized throughput vs replication factor "
+                "(one replica per rack)");
+  bench::print_ratio_header();
+  for (const int r : {2, 3, 4, 6, 8}) {
+    auto cfg = bench::default_b2_config(flags);
+    cfg.placement.replication = r;
+    cfg.placement.one_replica_per_rack = true;
+    bench::print_ratio_row("r=" + std::to_string(r),
+                           bench::run_pairs(cfg, runs));
+  }
+  bench::note("paper: encode gain ~70% across r; write gain 34.7% -> 2.5%");
+  return 0;
+}

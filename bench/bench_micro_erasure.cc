@@ -1,0 +1,200 @@
+// Microbenchmarks of the coding substrates: GF(2^8) kernels and the
+// Reed-Solomon codec (both constructions), via google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "erasure/crs.h"
+#include "erasure/lrc.h"
+#include "erasure/rs.h"
+#include "gf256/gf256.h"
+
+namespace {
+
+using namespace ear;
+
+std::vector<uint8_t> random_bytes(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(size);
+  for (auto& b : out) b = static_cast<uint8_t>(rng.uniform(256));
+  return out;
+}
+
+void BM_GfMulAdd(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  const auto src = random_bytes(size, 1);
+  auto dst = random_bytes(size, 2);
+  for (auto _ : state) {
+    gf::mul_add(0x53, src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_GfMulAdd)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_GfXorAdd(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  const auto src = random_bytes(size, 3);
+  auto dst = random_bytes(size, 4);
+  for (auto _ : state) {
+    gf::xor_add(src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_GfXorAdd)->Arg(65536)->Arg(1 << 20);
+
+void rs_encode_bench(benchmark::State& state,
+                     erasure::Construction construction) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = k + 4;
+  const size_t block = 256 * 1024;
+  const erasure::RSCode code(n, k, construction);
+
+  std::vector<std::vector<uint8_t>> data, parity;
+  for (int i = 0; i < k; ++i) {
+    data.push_back(random_bytes(block, static_cast<uint64_t>(i + 10)));
+  }
+  parity.assign(static_cast<size_t>(n - k), std::vector<uint8_t>(block));
+  std::vector<erasure::BlockView> dv(data.begin(), data.end());
+  std::vector<erasure::MutBlockView> pv(parity.begin(), parity.end());
+
+  for (auto _ : state) {
+    code.encode(dv, pv);
+    benchmark::DoNotOptimize(parity[0].data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(block) * k);
+}
+
+void BM_RsEncodeCauchy(benchmark::State& state) {
+  rs_encode_bench(state, erasure::Construction::kCauchy);
+}
+BENCHMARK(BM_RsEncodeCauchy)->Arg(4)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_RsEncodeVandermonde(benchmark::State& state) {
+  rs_encode_bench(state, erasure::Construction::kVandermonde);
+}
+BENCHMARK(BM_RsEncodeVandermonde)->Arg(10);
+
+void BM_RsDecodeWorstCase(benchmark::State& state) {
+  // All n - k data blocks erased; rebuilt from the parity set.
+  const int k = static_cast<int>(state.range(0));
+  const int n = k + 4;
+  const size_t block = 256 * 1024;
+  const erasure::RSCode code(n, k);
+
+  std::vector<std::vector<uint8_t>> data, parity;
+  for (int i = 0; i < k; ++i) {
+    data.push_back(random_bytes(block, static_cast<uint64_t>(i + 50)));
+  }
+  parity.assign(static_cast<size_t>(n - k), std::vector<uint8_t>(block));
+  {
+    std::vector<erasure::BlockView> dv(data.begin(), data.end());
+    std::vector<erasure::MutBlockView> pv(parity.begin(), parity.end());
+    code.encode(dv, pv);
+  }
+
+  // Available: data blocks 4..k-1 plus all parity.
+  std::vector<int> ids;
+  std::vector<erasure::BlockView> available;
+  for (int i = 4; i < k; ++i) {
+    ids.push_back(i);
+    available.emplace_back(data[static_cast<size_t>(i)]);
+  }
+  for (int j = 0; j < n - k; ++j) {
+    ids.push_back(k + j);
+    available.emplace_back(parity[static_cast<size_t>(j)]);
+  }
+  std::vector<std::vector<uint8_t>> out(4, std::vector<uint8_t>(block));
+  std::vector<erasure::MutBlockView> ov(out.begin(), out.end());
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        code.reconstruct(ids, available, {0, 1, 2, 3}, ov));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(block) * 4);
+}
+BENCHMARK(BM_RsDecodeWorstCase)->Arg(8)->Arg(10)->Arg(12);
+
+
+void BM_CrsEncodeXorOnly(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = k + 4;
+  const size_t block = 256 * 1024;
+  const erasure::CRSCode code(n, k);
+
+  std::vector<std::vector<uint8_t>> data, parity;
+  for (int i = 0; i < k; ++i) {
+    data.push_back(random_bytes(block, static_cast<uint64_t>(i + 90)));
+  }
+  parity.assign(static_cast<size_t>(n - k), std::vector<uint8_t>(block));
+  std::vector<erasure::BlockView> dv(data.begin(), data.end());
+  std::vector<erasure::MutBlockView> pv(parity.begin(), parity.end());
+
+  for (auto _ : state) {
+    code.encode(dv, pv);
+    benchmark::DoNotOptimize(parity[0].data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(block) * k);
+  state.counters["xors"] = static_cast<double>(code.schedule_xor_count());
+}
+BENCHMARK(BM_CrsEncodeXorOnly)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_LrcEncode(benchmark::State& state) {
+  const size_t block = 256 * 1024;
+  const erasure::LRCCode code(12, 2, 2);
+  std::vector<std::vector<uint8_t>> data, parity;
+  for (int i = 0; i < code.k(); ++i) {
+    data.push_back(random_bytes(block, static_cast<uint64_t>(i + 120)));
+  }
+  parity.assign(static_cast<size_t>(code.l() + code.g()),
+                std::vector<uint8_t>(block));
+  std::vector<erasure::BlockView> dv(data.begin(), data.end());
+  std::vector<erasure::MutBlockView> pv(parity.begin(), parity.end());
+  for (auto _ : state) {
+    code.encode(dv, pv);
+    benchmark::DoNotOptimize(parity[0].data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(block) * code.k());
+}
+BENCHMARK(BM_LrcEncode);
+
+void BM_LrcLocalRepair(benchmark::State& state) {
+  const size_t block = 256 * 1024;
+  const erasure::LRCCode code(12, 2, 2);
+  std::vector<std::vector<uint8_t>> data, parity;
+  for (int i = 0; i < code.k(); ++i) {
+    data.push_back(random_bytes(block, static_cast<uint64_t>(i + 150)));
+  }
+  parity.assign(static_cast<size_t>(code.l() + code.g()),
+                std::vector<uint8_t>(block));
+  {
+    std::vector<erasure::BlockView> dv(data.begin(), data.end());
+    std::vector<erasure::MutBlockView> pv(parity.begin(), parity.end());
+    code.encode(dv, pv);
+  }
+  std::vector<std::vector<uint8_t>> all = data;
+  all.insert(all.end(), parity.begin(), parity.end());
+  const auto plan = code.repair_plan(0);
+  std::vector<erasure::BlockView> sources;
+  for (const int id : plan) sources.emplace_back(all[static_cast<size_t>(id)]);
+  std::vector<uint8_t> out(block);
+  for (auto _ : state) {
+    code.repair(0, sources, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(block));
+}
+BENCHMARK(BM_LrcLocalRepair);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every bench prints (a) a header describing the experiment and the paper
+// item it regenerates, (b) the measured series in a fixed-width table, and
+// (c) where applicable the paper's qualitative expectation, so that
+// EXPERIMENTS.md can be checked against raw output.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+
+namespace ear::bench {
+
+inline void header(const std::string& figure, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), what.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("  # %s\n", text.c_str());
+}
+
+}  // namespace ear::bench

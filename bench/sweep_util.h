@@ -1,0 +1,107 @@
+// Shared driver for the Figure 13 simulation sweeps (Experiment B.2).
+//
+// Each sweep varies one parameter of the large-scale simulation (20 racks x
+// 20 nodes, (14,10), 3-way replication, 64 MB blocks, Poisson write and
+// background streams) and reports the throughput of EAR normalized over RR,
+// as a boxplot over independent seeded runs — exactly the quantity the
+// paper's Figure 13 plots.
+//
+// Metrics:
+//  * encode ratio — (data encoded / encoding time) of EAR over RR;
+//  * write ratio  — mean per-request write goodput (block size / response
+//    time) during the encoding window, EAR over RR.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "sim/cluster.h"
+
+namespace ear::bench {
+
+inline sim::SimConfig default_b2_config(const FlagParser& flags) {
+  sim::SimConfig cfg;
+  cfg.racks = 20;
+  cfg.nodes_per_rack = 20;
+  cfg.net.node_bw = gbps(1);
+  cfg.net.rack_uplink_bw = gbps(1);
+  cfg.placement.code = CodeParams{14, 10};
+  cfg.placement.replication = 3;
+  cfg.placement.c = 1;
+  cfg.block_size = 64_MB;
+  cfg.write_rate = 1.0;
+  cfg.background_rate = 1.0;
+  cfg.background_mean_size = 64_MB;
+  cfg.background_cross_fraction = 0.5;
+  cfg.encode_start = 10.0;
+  cfg.encode_processes = 20;
+  cfg.stripes_per_process =
+      static_cast<int>(flags.get_int("stripes-per-process",
+                                     flags.get_bool("paper-scale") ? 50 : 10));
+  return cfg;
+}
+
+struct RatioSamples {
+  Summary encode_ratio;
+  Summary write_ratio;
+};
+
+inline double write_goodput(const sim::SimResult& r, Bytes block) {
+  // Mean per-request goodput during the encoding window.
+  const auto& s = r.write_response_during;
+  if (s.empty()) return 0.0;
+  double acc = 0;
+  for (const double resp : s.samples()) {
+    acc += to_mb(block) / std::max(resp, 1e-9);
+  }
+  return acc / static_cast<double>(s.count());
+}
+
+// Runs RR and EAR with paired seeds `runs` times.
+inline RatioSamples run_pairs(const sim::SimConfig& base, int runs) {
+  RatioSamples out;
+  for (int run = 0; run < runs; ++run) {
+    sim::SimConfig rr_cfg = base;
+    rr_cfg.use_ear = false;
+    rr_cfg.seed = static_cast<uint64_t>(run + 1);
+    sim::SimConfig ear_cfg = rr_cfg;
+    ear_cfg.use_ear = true;
+
+    const sim::SimResult rr = sim::ClusterSim(rr_cfg).run();
+    const sim::SimResult ear = sim::ClusterSim(ear_cfg).run();
+    if (rr.encode_throughput_mbps > 0) {
+      out.encode_ratio.add(ear.encode_throughput_mbps /
+                           rr.encode_throughput_mbps);
+    }
+    const double rr_write = write_goodput(rr, rr_cfg.block_size);
+    const double ear_write = write_goodput(ear, ear_cfg.block_size);
+    if (rr_write > 0 && ear_write > 0) {
+      out.write_ratio.add(ear_write / rr_write);
+    }
+  }
+  return out;
+}
+
+inline void print_ratio_row(const std::string& label,
+                            const RatioSamples& samples) {
+  const auto e = samples.encode_ratio.boxplot();
+  row("%14s | encode %5.2f [%4.2f %4.2f %4.2f] | write %5.2f [%4.2f %4.2f "
+      "%4.2f]",
+      label.c_str(), e.median, e.min, samples.encode_ratio.mean(), e.max,
+      samples.write_ratio.empty() ? 0.0 : samples.write_ratio.median(),
+      samples.write_ratio.empty() ? 0.0 : samples.write_ratio.min(),
+      samples.write_ratio.empty() ? 0.0 : samples.write_ratio.mean(),
+      samples.write_ratio.empty() ? 0.0 : samples.write_ratio.max());
+}
+
+inline void print_ratio_header() {
+  row("%14s | %-38s | %-36s", "param",
+      "EAR/RR encode thpt med [min mean max]",
+      "EAR/RR write goodput med [min mean max]");
+}
+
+}  // namespace ear::bench

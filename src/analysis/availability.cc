@@ -1,0 +1,78 @@
+#include "analysis/availability.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ear::analysis {
+
+namespace {
+
+// log(C(n, r)) computed stably via lgamma.
+double log_choose(int n, int r) {
+  if (r < 0 || r > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(n + 1.0) - std::lgamma(r + 1.0) -
+         std::lgamma(n - r + 1.0);
+}
+
+double log_factorial(int n) { return std::lgamma(n + 1.0); }
+
+}  // namespace
+
+double preliminary_violation_probability(int racks, int k) {
+  assert(racks >= 2 && k >= 1);
+  const int r1 = racks - 1;  // non-core racks
+  if (k == 1) return 0.0;
+  const double log_denom = k * std::log(static_cast<double>(r1));
+
+  // All k secondary racks distinct: C(R-1, k) * k!.
+  double safe = 0.0;
+  if (r1 >= k) {
+    safe += std::exp(log_choose(r1, k) + log_factorial(k) - log_denom);
+  }
+  // Exactly one colliding pair: C(k,2) * C(R-1, k-1) * (k-1)!.
+  if (r1 >= k - 1) {
+    safe += std::exp(log_choose(k, 2) + log_choose(r1, k - 1) +
+                     log_factorial(k - 1) - log_denom);
+  }
+  return std::clamp(1.0 - safe, 0.0, 1.0);
+}
+
+double preliminary_violation_probability_mc(int racks, int k, int trials,
+                                            uint64_t seed) {
+  assert(racks >= 2 && k >= 1 && trials > 0);
+  Rng rng(seed);
+  const int r1 = racks - 1;
+  int violations = 0;
+  std::vector<int> counts(static_cast<size_t>(r1));
+  for (int t = 0; t < trials; ++t) {
+    std::fill(counts.begin(), counts.end(), 0);
+    int distinct = 0;
+    for (int b = 0; b < k; ++b) {
+      const auto rack = static_cast<size_t>(rng.uniform(
+          static_cast<uint64_t>(r1)));
+      if (counts[rack]++ == 0) ++distinct;
+    }
+    if (distinct < k - 1) ++violations;
+  }
+  return static_cast<double>(violations) / trials;
+}
+
+double theorem1_iteration_bound(int racks, int i, int c) {
+  assert(racks >= 2 && i >= 1 && c >= 1);
+  const int full_racks = (i - 1) / c;
+  const int free_racks = racks - 1 - full_racks;
+  assert(free_racks > 0 && "configuration cannot host the stripe");
+  return static_cast<double>(racks - 1) / free_racks;
+}
+
+int cross_rack_repair_blocks(int k, int c) {
+  assert(k >= 1 && c >= 1);
+  return std::max(0, k - c);
+}
+
+}  // namespace ear::analysis

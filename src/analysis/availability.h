@@ -1,0 +1,37 @@
+// Availability analysis of replica placement (paper §III-A/B, Figure 3,
+// Theorem 1, and the §III-D recovery-traffic trade-off).
+#pragma once
+
+#include <cstdint>
+
+namespace ear::analysis {
+
+// Equation (1): probability that a stripe placed by the *preliminary* EAR
+// (core rack + unconstrained random second/third replicas) violates
+// rack-level fault tolerance and needs relocation, for 3-way replication,
+// R racks and stripes of k data blocks:
+//
+//   f = 1 - [ C(R-1,k) k!  +  C(k,2) C(R-1,k-1) (k-1)! ] / (R-1)^k
+//
+// i.e. the layout is safe iff the k secondary racks span at least k-1
+// distinct racks.
+double preliminary_violation_probability(int racks, int k);
+
+// Monte-Carlo estimate of the same probability (validates Equation (1)).
+double preliminary_violation_probability_mc(int racks, int k, int trials,
+                                            uint64_t seed);
+
+// Theorem 1: upper bound on the expected number of replica-layout draws EAR
+// needs for the i-th data block (1-indexed) with parameter c and R racks:
+//
+//   E_i <= (R - 1) / (R - 1 - floor((i-1)/c))
+double theorem1_iteration_bound(int racks, int i, int c);
+
+// §III-D: cross-rack blocks transferred to repair one lost block when each
+// rack holds at most c blocks of a stripe.  The repairing node downloads k
+// blocks; placing it in a rack still holding c surviving stripe blocks makes
+// c of them rack-local, so k - c cross racks (k - 1 for c = 1, matching the
+// paper's "the other k-1 blocks need to be downloaded from other racks").
+int cross_rack_repair_blocks(int k, int c);
+
+}  // namespace ear::analysis

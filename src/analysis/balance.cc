@@ -1,0 +1,78 @@
+#include "analysis/balance.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "placement/policy.h"
+
+namespace ear::analysis {
+
+namespace {
+
+std::unique_ptr<PlacementPolicy> make_policy(const Topology& topo,
+                                             const BalanceConfig& config,
+                                             uint64_t seed) {
+  return config.use_ear
+             ? make_encoding_aware_replication(topo, config.placement, seed)
+             : make_random_replication(topo, config.placement, seed);
+}
+
+}  // namespace
+
+std::vector<double> storage_share_by_rack(const BalanceConfig& config,
+                                          int blocks, int runs) {
+  const Topology topo(config.racks, config.nodes_per_rack);
+  std::vector<double> average(static_cast<size_t>(config.racks), 0.0);
+
+  for (int run = 0; run < runs; ++run) {
+    auto policy = make_policy(topo, config, config.seed + run);
+    std::vector<int64_t> per_rack(static_cast<size_t>(config.racks), 0);
+    int64_t total = 0;
+    for (BlockId b = 0; b < blocks; ++b) {
+      const BlockPlacement p = policy->place_block(b, std::nullopt);
+      for (const NodeId n : p.replicas) {
+        ++per_rack[static_cast<size_t>(topo.rack_of(n))];
+        ++total;
+      }
+    }
+    // Sort each run's shares descending before averaging (the paper plots
+    // ranked shares).
+    std::vector<double> shares;
+    shares.reserve(per_rack.size());
+    for (const int64_t count : per_rack) {
+      shares.push_back(100.0 * static_cast<double>(count) /
+                       static_cast<double>(total));
+    }
+    std::sort(shares.rbegin(), shares.rend());
+    for (size_t i = 0; i < shares.size(); ++i) average[i] += shares[i];
+  }
+  for (double& v : average) v /= runs;
+  return average;
+}
+
+double read_hotness_index(const BalanceConfig& config, int file_blocks,
+                          int runs) {
+  const Topology topo(config.racks, config.nodes_per_rack);
+  double h_sum = 0.0;
+
+  for (int run = 0; run < runs; ++run) {
+    auto policy = make_policy(topo, config, config.seed + 1000 + run);
+    // L(i): expected share of read requests served by rack i, assuming each
+    // block is equally likely to be read and a request goes to a uniformly
+    // random rack holding a replica.
+    std::vector<double> load(static_cast<size_t>(config.racks), 0.0);
+    for (BlockId b = 0; b < file_blocks; ++b) {
+      const BlockPlacement p = policy->place_block(b, std::nullopt);
+      std::set<RackId> racks;
+      for (const NodeId n : p.replicas) racks.insert(topo.rack_of(n));
+      const double share = 1.0 / (static_cast<double>(file_blocks) *
+                                  static_cast<double>(racks.size()));
+      for (const RackId r : racks) load[static_cast<size_t>(r)] += share;
+    }
+    h_sum += 100.0 * *std::max_element(load.begin(), load.end());
+  }
+  return h_sum / runs;
+}
+
+}  // namespace ear::analysis

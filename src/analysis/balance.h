@@ -1,0 +1,35 @@
+// Load-balancing analysis of RR vs EAR (paper §V-C, Figures 14 and 15).
+//
+// Monte-Carlo over the actual placement policies: place `blocks` blocks,
+// then measure (a) the per-rack share of stored replicas (storage balance)
+// and (b) the read hotness index H — the largest per-rack share of uniform
+// read requests, where each request picks a uniformly random rack among
+// those holding a replica of the requested block.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "placement/types.h"
+
+namespace ear::analysis {
+
+struct BalanceConfig {
+  int racks = 20;
+  int nodes_per_rack = 20;
+  PlacementConfig placement{};  // default (14,10), r = 3, c = 1
+  bool use_ear = true;
+  uint64_t seed = 1;
+};
+
+// Average per-rack proportion of replicas (percent), sorted descending,
+// averaged over `runs` independent placements of `blocks` blocks (Fig. 14).
+std::vector<double> storage_share_by_rack(const BalanceConfig& config,
+                                          int blocks, int runs);
+
+// Average hotness index H (percent) for a file of `file_blocks` blocks over
+// `runs` placements (Fig. 15).
+double read_hotness_index(const BalanceConfig& config, int file_blocks,
+                          int runs);
+
+}  // namespace ear::analysis

@@ -1,0 +1,41 @@
+#include "analysis/throughput_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ear::analysis {
+
+double rr_expected_cross_downloads(int k, int racks) {
+  assert(k >= 1 && racks >= 2);
+  return k * (1.0 - 2.0 / racks);
+}
+
+double predicted_encode_seconds(const EncodeModelInput& input) {
+  const int k = input.code.k;
+  const int m = input.code.m();
+  const double block = static_cast<double>(input.block_size);
+
+  const double remote_blocks =
+      std::max(0.0, static_cast<double>(k) - input.local_blocks);
+  // Downloads: remote blocks stream through the encoder's downlink; local
+  // blocks through its disk (if modeled).
+  double download_s = remote_blocks * block / input.node_bw;
+  if (input.disk_bw > 0) {
+    download_s = std::max(download_s,
+                          input.local_blocks * block / input.disk_bw);
+  }
+  // Uploads: all parity leaves through the encoder's uplink.
+  const double upload_s = m * block / input.node_bw;
+
+  return input.stripes_per_process * (download_s + upload_s);
+}
+
+double predicted_encode_throughput_mbps(const EncodeModelInput& input,
+                                        int processes) {
+  const double total_mb = to_mb(input.block_size) * input.code.k *
+                          input.stripes_per_process * processes;
+  const double duration = predicted_encode_seconds(input);
+  return duration > 0 ? total_mb / duration : 0.0;
+}
+
+}  // namespace ear::analysis

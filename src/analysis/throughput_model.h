@@ -1,0 +1,47 @@
+// Closed-form first-order model of the encoding operation's duration in an
+// otherwise idle cluster — used to sanity-check the simulator (every DES
+// deserves an analytical cross-check) and to reason about parameter choices
+// without running anything.
+//
+// Assumptions: each encoding process works sequentially through its
+// stripes; per stripe it first downloads the k data blocks, then uploads
+// the n - k parity blocks; the bottleneck of each phase is the encoder's
+// access link (downloads converge on its downlink, uploads leave its
+// uplink), except that EAR's downloads are rack-local or disk-local.
+// Cross-rack contention between processes is ignored (valid when processes
+// spread over distinct racks), so the model is a LOWER bound for RR and
+// nearly exact for EAR.
+#pragma once
+
+#include "common/units.h"
+#include "placement/types.h"
+
+namespace ear::analysis {
+
+struct EncodeModelInput {
+  CodeParams code;
+  int racks = 20;
+  Bytes block_size = 64_MB;
+  BytesPerSec node_bw = gbps(1);
+  // Per-node disk bandwidth for local reads; 0 = free (pure network model).
+  BytesPerSec disk_bw = 0;
+  int stripes_per_process = 10;
+  // How many of the k data blocks the encoder holds locally (EAR with
+  // single-node racks: all k; EAR with multi-node racks: ~k / nodes_per_rack;
+  // RR: ~k * 2 / racks on average).
+  double local_blocks = 0;
+};
+
+// Expected cross-rack downloads per stripe under RR (§II-B): k (1 - 2/R).
+double rr_expected_cross_downloads(int k, int racks);
+
+// Predicted duration (seconds) of one encoding process finishing its share
+// of stripes in an idle network.
+double predicted_encode_seconds(const EncodeModelInput& input);
+
+// Predicted encoding throughput (MB/s of data-block bytes) for a fleet of
+// `processes` parallel encoders, assuming they bottleneck independently.
+double predicted_encode_throughput_mbps(const EncodeModelInput& input,
+                                        int processes);
+
+}  // namespace ear::analysis

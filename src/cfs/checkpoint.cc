@@ -1,0 +1,230 @@
+#include "cfs/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace ear::cfs {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'A', 'R', 'C', 'K', 'P', 'T', '1'};
+
+// ---- little-endian primitives ------------------------------------------
+
+void put_u64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_i64(std::vector<uint8_t>& out, int64_t v) {
+  put_u64(out, static_cast<uint64_t>(v));
+}
+
+void put_bytes(std::vector<uint8_t>& out, const std::vector<uint8_t>& v) {
+  put_u64(out, v.size());
+  out.insert(out.end(), v.begin(), v.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& data) : data_(&data) {}
+
+  uint64_t u64() {
+    if (pos_ + 8 > data_->size()) {
+      throw std::runtime_error("checkpoint truncated");
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>((*data_)[pos_ + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+
+  std::vector<uint8_t> bytes() {
+    const uint64_t len = u64();
+    if (pos_ + len > data_->size()) {
+      throw std::runtime_error("checkpoint truncated");
+    }
+    std::vector<uint8_t> out(data_->begin() + static_cast<ptrdiff_t>(pos_),
+                             data_->begin() +
+                                 static_cast<ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+
+  void expect_magic() {
+    if (pos_ + 8 > data_->size() ||
+        std::memcmp(data_->data(), kMagic, 8) != 0) {
+      throw std::runtime_error("not an EAR checkpoint");
+    }
+    pos_ += 8;
+  }
+
+ private:
+  const std::vector<uint8_t>* data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> save_checkpoint(const MiniCfs& cfs) {
+  const ClusterImage image = cfs.export_image();
+  std::vector<uint8_t> out;
+  out.insert(out.end(), kMagic, kMagic + 8);
+
+  // Config.
+  put_i64(out, image.config.racks);
+  put_i64(out, image.config.nodes_per_rack);
+  put_i64(out, image.config.placement.code.n);
+  put_i64(out, image.config.placement.code.k);
+  put_i64(out, image.config.placement.replication);
+  put_i64(out, image.config.placement.one_replica_per_rack ? 1 : 0);
+  put_i64(out, image.config.placement.c);
+  put_i64(out, image.config.placement.target_racks);
+  put_i64(out, image.config.use_ear ? 1 : 0);
+  put_i64(out, image.config.block_size);
+  put_i64(out,
+          image.config.construction == erasure::Construction::kCauchy ? 1
+                                                                      : 0);
+  put_u64(out, image.config.seed);
+  put_i64(out, image.next_block_id);
+
+  // Block locations.
+  put_u64(out, image.locations.size());
+  for (const auto& [block, locs] : image.locations) {
+    put_i64(out, block);
+    put_u64(out, locs.size());
+    for (const NodeId n : locs) put_i64(out, n);
+  }
+
+  // Stripes.
+  put_u64(out, image.stripes.size());
+  for (const auto& [id, meta] : image.stripes) {
+    put_i64(out, id);
+    put_i64(out, meta.encoded ? 1 : 0);
+    put_u64(out, meta.data_blocks.size());
+    for (const BlockId b : meta.data_blocks) put_i64(out, b);
+    put_u64(out, meta.parity_blocks.size());
+    for (const BlockId b : meta.parity_blocks) put_i64(out, b);
+  }
+
+  // Block -> stripe positions.
+  put_u64(out, image.block_positions.size());
+  for (const auto& [block, pos] : image.block_positions) {
+    put_i64(out, block);
+    put_i64(out, pos.first);
+    put_i64(out, pos.second);
+  }
+
+  // Node block stores.
+  put_u64(out, image.node_blocks.size());
+  for (const auto& store : image.node_blocks) {
+    put_u64(out, store.size());
+    for (const auto& [block, data] : store) {
+      put_i64(out, block);
+      put_bytes(out, data);
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<MiniCfs> load_checkpoint(
+    const std::vector<uint8_t>& data, std::unique_ptr<Transport> transport) {
+  Reader in(data);
+  in.expect_magic();
+
+  ClusterImage image;
+  image.config.racks = static_cast<int>(in.i64());
+  image.config.nodes_per_rack = static_cast<int>(in.i64());
+  image.config.placement.code.n = static_cast<int>(in.i64());
+  image.config.placement.code.k = static_cast<int>(in.i64());
+  image.config.placement.replication = static_cast<int>(in.i64());
+  image.config.placement.one_replica_per_rack = in.i64() != 0;
+  image.config.placement.c = static_cast<int>(in.i64());
+  image.config.placement.target_racks = static_cast<int>(in.i64());
+  image.config.use_ear = in.i64() != 0;
+  image.config.block_size = in.i64();
+  image.config.construction = in.i64() != 0
+                                  ? erasure::Construction::kCauchy
+                                  : erasure::Construction::kVandermonde;
+  image.config.seed = in.u64();
+  image.next_block_id = in.i64();
+
+  const uint64_t location_count = in.u64();
+  for (uint64_t i = 0; i < location_count; ++i) {
+    const BlockId block = in.i64();
+    const uint64_t locs = in.u64();
+    std::vector<NodeId> nodes;
+    for (uint64_t j = 0; j < locs; ++j) {
+      nodes.push_back(static_cast<NodeId>(in.i64()));
+    }
+    image.locations.emplace(block, std::move(nodes));
+  }
+
+  const uint64_t stripe_count = in.u64();
+  for (uint64_t i = 0; i < stripe_count; ++i) {
+    StripeMeta meta;
+    meta.id = in.i64();
+    meta.encoded = in.i64() != 0;
+    const uint64_t dcount = in.u64();
+    for (uint64_t j = 0; j < dcount; ++j) meta.data_blocks.push_back(in.i64());
+    const uint64_t pcount = in.u64();
+    for (uint64_t j = 0; j < pcount; ++j) {
+      meta.parity_blocks.push_back(in.i64());
+    }
+    image.stripes.emplace(meta.id, std::move(meta));
+  }
+
+  const uint64_t pos_count = in.u64();
+  for (uint64_t i = 0; i < pos_count; ++i) {
+    const BlockId block = in.i64();
+    const StripeId stripe = in.i64();
+    const int pos = static_cast<int>(in.i64());
+    image.block_positions.emplace(block, std::make_pair(stripe, pos));
+  }
+
+  const uint64_t node_count = in.u64();
+  image.node_blocks.resize(node_count);
+  for (uint64_t i = 0; i < node_count; ++i) {
+    const uint64_t blocks = in.u64();
+    for (uint64_t j = 0; j < blocks; ++j) {
+      const BlockId block = in.i64();
+      image.node_blocks[i].emplace(block, in.bytes());
+    }
+  }
+
+  return MiniCfs::from_image(std::move(image), std::move(transport));
+}
+
+bool save_checkpoint_file(const MiniCfs& cfs, const std::string& path) {
+  const std::vector<uint8_t> image = save_checkpoint(cfs);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const size_t written = std::fwrite(image.data(), 1, image.size(), f);
+  std::fclose(f);
+  return written == image.size();
+}
+
+std::unique_ptr<MiniCfs> load_checkpoint_file(
+    const std::string& path, std::unique_ptr<Transport> transport) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("cannot open checkpoint " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> data(static_cast<size_t>(size));
+  const size_t read = std::fread(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (read != data.size()) {
+    throw std::runtime_error("short read on checkpoint " + path);
+  }
+  return load_checkpoint(data, std::move(transport));
+}
+
+}  // namespace ear::cfs

@@ -1,0 +1,109 @@
+#include "cfs/filesystem.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ear::cfs {
+
+void FileSystem::create(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.count(path)) {
+    throw std::runtime_error("file exists: " + path);
+  }
+  files_.emplace(path, FileMeta{});
+}
+
+std::vector<BlockId> FileSystem::append(const std::string& path,
+                                        std::span<const uint8_t> data,
+                                        std::optional<NodeId> writer) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!files_.count(path)) {
+      throw std::runtime_error("no such file: " + path);
+    }
+  }
+  const Bytes block_size = cfs_->config().block_size;
+  std::vector<BlockId> written;
+  size_t offset = 0;
+  while (offset < data.size() || (data.empty() && written.empty())) {
+    const size_t take = std::min(static_cast<size_t>(block_size),
+                                 data.size() - offset);
+    if (take == 0) break;
+    std::vector<uint8_t> block(static_cast<size_t>(block_size), 0);
+    std::copy_n(data.begin() + static_cast<ptrdiff_t>(offset), take,
+                block.begin());
+    const BlockId id = cfs_->write_block(block, writer);
+    written.push_back(id);
+    std::lock_guard<std::mutex> lock(mu_);
+    FileMeta& meta = files_.at(path);
+    meta.blocks.push_back(id);
+    meta.lengths.push_back(static_cast<Bytes>(take));
+    offset += take;
+  }
+  return written;
+}
+
+std::vector<uint8_t> FileSystem::read(const std::string& path,
+                                      NodeId reader) {
+  FileMeta meta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = files_.find(path);
+    if (it == files_.end()) {
+      throw std::runtime_error("no such file: " + path);
+    }
+    meta = it->second;
+  }
+  std::vector<uint8_t> out;
+  for (size_t i = 0; i < meta.blocks.size(); ++i) {
+    std::vector<uint8_t> block = cfs_->read_block(meta.blocks[i], reader);
+    block.resize(static_cast<size_t>(meta.lengths[i]));
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  return out;
+}
+
+bool FileSystem::exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Bytes FileSystem::size(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw std::runtime_error("no such file: " + path);
+  }
+  Bytes total = 0;
+  for (const Bytes len : it->second.lengths) total += len;
+  return total;
+}
+
+std::vector<BlockId> FileSystem::blocks(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw std::runtime_error("no such file: " + path);
+  }
+  return it->second.blocks;
+}
+
+std::vector<std::string> FileSystem::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, meta] : files_) {
+    (void)meta;
+    names.push_back(name);
+  }
+  return names;
+}
+
+void FileSystem::remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) {
+    throw std::runtime_error("no such file: " + path);
+  }
+}
+
+}  // namespace ear::cfs

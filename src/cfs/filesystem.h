@@ -1,0 +1,62 @@
+// File namespace on top of MiniCfs block storage (the NameNode's namespace
+// role in HDFS).  Files are append-only sequences of fixed-size blocks; the
+// last block is zero-padded on disk and trimmed on read using the recorded
+// logical size.
+//
+// Deleting a file only unlinks it from the namespace (HDFS-trash semantics):
+// blocks that already joined an erasure-coded stripe must stay on disk to
+// keep the stripe decodable, so physical reclamation is a separate,
+// stripe-aware process out of scope here.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cfs/minicfs.h"
+
+namespace ear::cfs {
+
+class FileSystem {
+ public:
+  explicit FileSystem(MiniCfs& cfs) : cfs_(&cfs) {}
+
+  // Creates an empty file.  Throws if it already exists.
+  void create(const std::string& path);
+
+  // Appends `data` to the file, splitting into blocks.  Returns the block
+  // ids written.  Data smaller than a block is padded; appends always start
+  // a fresh block (simplification: HDFS appends to partial blocks, but
+  // HDFS-RAID only encodes full blocks anyway).
+  std::vector<BlockId> append(const std::string& path,
+                              std::span<const uint8_t> data,
+                              std::optional<NodeId> writer = std::nullopt);
+
+  // Reads the whole file to `reader` (degraded reads included).
+  std::vector<uint8_t> read(const std::string& path, NodeId reader);
+
+  bool exists(const std::string& path) const;
+  Bytes size(const std::string& path) const;
+  std::vector<BlockId> blocks(const std::string& path) const;
+  std::vector<std::string> list() const;
+
+  // Unlinks the file from the namespace (blocks remain on disk; see above).
+  void remove(const std::string& path);
+
+ private:
+  struct FileMeta {
+    std::vector<BlockId> blocks;
+    // Logical byte length of each block (== block_size except possibly the
+    // last block of each append).
+    std::vector<Bytes> lengths;
+  };
+
+  MiniCfs* cfs_;
+  mutable std::mutex mu_;
+  std::map<std::string, FileMeta> files_;
+};
+
+}  // namespace ear::cfs

@@ -1,0 +1,384 @@
+#include "cfs/minicfs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <thread>
+
+#include "placement/replica_layout.h"
+
+namespace ear::cfs {
+
+MiniCfs::MiniCfs(const CfsConfig& config, std::unique_ptr<Transport> transport)
+    : config_(config),
+      topo_(config.racks, config.nodes_per_rack),
+      transport_(std::move(transport)),
+      policy_(config.use_ear
+                  ? make_encoding_aware_replication(topo_, config.placement,
+                                                    config.seed)
+                  : make_random_replication(topo_, config.placement,
+                                            config.seed)),
+      code_(config.placement.code.n, config.placement.code.k,
+            config.construction),
+      node_alive_(static_cast<size_t>(topo_.node_count())),
+      rng_(config.seed ^ 0xdeadbeefULL) {
+  revive_all();
+  datanodes_.reserve(static_cast<size_t>(topo_.node_count()));
+  for (int i = 0; i < topo_.node_count(); ++i) {
+    datanodes_.push_back(std::make_unique<DataNode>());
+  }
+}
+
+MiniCfs::~MiniCfs() = default;
+
+// ----------------------------------------------------------------- stores
+
+void MiniCfs::store(NodeId node, BlockId block, std::vector<uint8_t> bytes) {
+  DataNode& dn = *datanodes_[static_cast<size_t>(node)];
+  std::lock_guard<std::mutex> lock(dn.mu);
+  dn.blocks[block] = std::move(bytes);
+}
+
+std::vector<uint8_t> MiniCfs::fetch(NodeId node, BlockId block) const {
+  const DataNode& dn = *datanodes_[static_cast<size_t>(node)];
+  std::lock_guard<std::mutex> lock(dn.mu);
+  const auto it = dn.blocks.find(block);
+  if (it == dn.blocks.end()) {
+    throw std::runtime_error("block " + std::to_string(block) +
+                             " not on node " + std::to_string(node));
+  }
+  return it->second;
+}
+
+void MiniCfs::erase(NodeId node, BlockId block) {
+  DataNode& dn = *datanodes_[static_cast<size_t>(node)];
+  std::lock_guard<std::mutex> lock(dn.mu);
+  dn.blocks.erase(block);
+}
+
+// ------------------------------------------------------------ write path
+
+BlockId MiniCfs::write_block(std::span<const uint8_t> data,
+                             std::optional<NodeId> writer) {
+  if (static_cast<Bytes>(data.size()) != config_.block_size) {
+    throw std::invalid_argument("write_block: data must be one block");
+  }
+
+  BlockPlacement placement;
+  int position = 0;
+  {
+    std::lock_guard<std::mutex> lock(namenode_mu_);
+    const BlockId id = next_block_id_++;
+    placement = policy_->place_block(id, writer);
+    position =
+        static_cast<int>(policy_->stripe(placement.stripe).blocks.size()) - 1;
+  }
+
+  // Replication pipeline: hop h streams the block from replica h to h+1.
+  // Hops overlap (HDFS streams 64 KB packets down the chain), so they run
+  // concurrently here.
+  const auto& replicas = placement.replicas;
+  std::vector<std::thread> hops;
+  for (size_t h = 0; h + 1 < replicas.size(); ++h) {
+    hops.emplace_back([this, &replicas, h] {
+      transport_->transfer(replicas[h], replicas[h + 1], config_.block_size);
+    });
+  }
+  for (auto& t : hops) t.join();
+
+  std::vector<uint8_t> bytes(data.begin(), data.end());
+  for (const NodeId n : replicas) {
+    store(n, placement.block, bytes);
+  }
+  {
+    std::lock_guard<std::mutex> lock(namenode_mu_);
+    locations_[placement.block] =
+        std::vector<NodeId>(replicas.begin(), replicas.end());
+    block_stripe_pos_[placement.block] = {placement.stripe, position};
+    auto& meta = stripe_meta_[placement.stripe];
+    meta.id = placement.stripe;
+    meta.data_blocks.push_back(placement.block);
+  }
+  return placement.block;
+}
+
+// ------------------------------------------------------------- read path
+
+NodeId MiniCfs::pick_source(const std::vector<NodeId>& locations, NodeId dst,
+                            bool count_cross_rack_download) {
+  // Local copy first.
+  for (const NodeId n : locations) {
+    if (n == dst && node_alive_[static_cast<size_t>(n)]) return n;
+  }
+  // Same-rack copy next.
+  std::vector<NodeId> same_rack, remote;
+  for (const NodeId n : locations) {
+    if (!node_alive_[static_cast<size_t>(n)]) continue;
+    (topo_.same_rack(n, dst) ? same_rack : remote).push_back(n);
+  }
+  const auto pick = [this](const std::vector<NodeId>& candidates) {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    return candidates[rng_.index(candidates.size())];
+  };
+  if (!same_rack.empty()) return pick(same_rack);
+  if (!remote.empty()) {
+    if (count_cross_rack_download) ++encode_cross_rack_downloads_;
+    return pick(remote);
+  }
+  return kInvalidNode;
+}
+
+std::vector<uint8_t> MiniCfs::read_block(BlockId block, NodeId reader) {
+  std::vector<NodeId> locations;
+  {
+    std::lock_guard<std::mutex> lock(namenode_mu_);
+    const auto it = locations_.find(block);
+    if (it == locations_.end()) {
+      throw std::runtime_error("unknown block " + std::to_string(block));
+    }
+    locations = it->second;
+  }
+  const NodeId src = pick_source(locations, reader, /*count=*/false);
+  if (src != kInvalidNode) {
+    transport_->transfer(src, reader, config_.block_size);
+    return fetch(src, block);
+  }
+
+  // Degraded read: reconstruct from any k live blocks of the stripe.
+  StripeId stripe;
+  int wanted_pos;
+  std::vector<BlockId> stripe_blocks;  // data then parity, stripe order
+  {
+    std::lock_guard<std::mutex> lock(namenode_mu_);
+    const auto pos_it = block_stripe_pos_.find(block);
+    if (pos_it == block_stripe_pos_.end()) {
+      throw std::runtime_error("block lost and not in any stripe");
+    }
+    stripe = pos_it->second.first;
+    wanted_pos = pos_it->second.second;
+    const auto meta_it = stripe_meta_.find(stripe);
+    if (meta_it == stripe_meta_.end() || !meta_it->second.encoded) {
+      throw std::runtime_error("block lost before its stripe was encoded");
+    }
+    stripe_blocks = meta_it->second.data_blocks;
+    stripe_blocks.insert(stripe_blocks.end(),
+                         meta_it->second.parity_blocks.begin(),
+                         meta_it->second.parity_blocks.end());
+  }
+
+  std::vector<int> available_ids;
+  std::vector<std::vector<uint8_t>> available_bytes;
+  for (int pos = 0;
+       pos < static_cast<int>(stripe_blocks.size()) &&
+       static_cast<int>(available_ids.size()) < code_.k();
+       ++pos) {
+    const BlockId b = stripe_blocks[static_cast<size_t>(pos)];
+    std::vector<NodeId> locs;
+    {
+      std::lock_guard<std::mutex> lock(namenode_mu_);
+      const auto it = locations_.find(b);
+      if (it == locations_.end()) continue;
+      locs = it->second;
+    }
+    const NodeId s = pick_source(locs, reader, /*count=*/false);
+    if (s == kInvalidNode) continue;
+    transport_->transfer(s, reader, config_.block_size);
+    available_ids.push_back(pos);
+    available_bytes.push_back(fetch(s, b));
+  }
+  if (static_cast<int>(available_ids.size()) < code_.k()) {
+    throw std::runtime_error("stripe unrecoverable: fewer than k live blocks");
+  }
+
+  std::vector<erasure::BlockView> views;
+  views.reserve(available_bytes.size());
+  for (const auto& b : available_bytes) views.emplace_back(b);
+  std::vector<uint8_t> out(static_cast<size_t>(config_.block_size));
+  std::vector<erasure::MutBlockView> out_views{out};
+  if (!code_.reconstruct(available_ids, views, {wanted_pos}, out_views)) {
+    throw std::runtime_error("decode failed (singular matrix?)");
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- encoding
+
+std::vector<StripeId> MiniCfs::sealed_stripes() const {
+  std::lock_guard<std::mutex> lock(namenode_mu_);
+  return policy_->sealed_stripes();
+}
+
+void MiniCfs::encode_stripe(StripeId stripe,
+                            std::optional<NodeId> encoder_override) {
+  EncodePlan plan;
+  std::vector<BlockId> data_blocks;
+  std::vector<std::vector<NodeId>> replica_sets;
+  {
+    std::lock_guard<std::mutex> lock(namenode_mu_);
+    const StripeInfo& info = policy_->stripe(stripe);
+    if (!info.sealed(config_.placement.code.k)) {
+      throw std::runtime_error("stripe not sealed");
+    }
+    if (stripe_meta_[stripe].encoded) {
+      throw std::runtime_error("stripe already encoded");
+    }
+    plan = policy_->plan_encoding(stripe);
+    data_blocks = info.blocks;
+    replica_sets = info.replicas;
+  }
+  if (encoder_override) plan.encoder = *encoder_override;
+
+  const int k = code_.k();
+  const int m = code_.m();
+
+  // Step (i): download one replica of each data block to the encoder.
+  std::vector<std::vector<uint8_t>> data_bytes;
+  data_bytes.reserve(static_cast<size_t>(k));
+  {
+    std::vector<std::thread> downloads;
+    data_bytes.resize(static_cast<size_t>(k));
+    std::atomic<bool> failed{false};
+    for (int i = 0; i < k; ++i) {
+      downloads.emplace_back([this, &plan, &data_blocks, &replica_sets,
+                              &data_bytes, &failed, i] {
+        const NodeId src = pick_source(replica_sets[static_cast<size_t>(i)],
+                                       plan.encoder, /*count=*/true);
+        if (src == kInvalidNode) {
+          failed = true;
+          return;
+        }
+        if (src != plan.encoder) {
+          transport_->transfer(src, plan.encoder, config_.block_size);
+        } else {
+          transport_->local_read(src, config_.block_size);
+        }
+        data_bytes[static_cast<size_t>(i)] =
+            fetch(src, data_blocks[static_cast<size_t>(i)]);
+      });
+    }
+    for (auto& t : downloads) t.join();
+    if (failed) {
+      throw std::runtime_error("no live replica for encoding download");
+    }
+  }
+
+  // Step (ii): compute parity over the real bytes and upload.
+  std::vector<std::vector<uint8_t>> parity_bytes(
+      static_cast<size_t>(m),
+      std::vector<uint8_t>(static_cast<size_t>(config_.block_size)));
+  {
+    std::vector<erasure::BlockView> data_views;
+    for (const auto& b : data_bytes) data_views.emplace_back(b);
+    std::vector<erasure::MutBlockView> parity_views;
+    for (auto& b : parity_bytes) parity_views.emplace_back(b);
+    code_.encode(data_views, parity_views);
+  }
+
+  std::vector<BlockId> parity_ids(static_cast<size_t>(m));
+  {
+    std::lock_guard<std::mutex> lock(namenode_mu_);
+    for (int j = 0; j < m; ++j) {
+      parity_ids[static_cast<size_t>(j)] = next_block_id_++;
+    }
+  }
+  {
+    std::vector<std::thread> uploads;
+    for (int j = 0; j < m; ++j) {
+      uploads.emplace_back([this, &plan, &parity_ids, &parity_bytes, j] {
+        const NodeId dst = plan.parity[static_cast<size_t>(j)];
+        if (dst != plan.encoder) {
+          transport_->transfer(plan.encoder, dst, config_.block_size);
+        }
+        store(dst, parity_ids[static_cast<size_t>(j)],
+              parity_bytes[static_cast<size_t>(j)]);
+      });
+    }
+    for (auto& t : uploads) t.join();
+  }
+
+  // Step (iii): delete redundant replicas, register the encoded layout.
+  for (const auto& [block_idx, node] : plan.deletions) {
+    erase(node, data_blocks[static_cast<size_t>(block_idx)]);
+  }
+  {
+    std::lock_guard<std::mutex> lock(namenode_mu_);
+    for (int i = 0; i < k; ++i) {
+      locations_[data_blocks[static_cast<size_t>(i)]] = {
+          plan.kept[static_cast<size_t>(i)]};
+    }
+    StripeMeta& meta = stripe_meta_[stripe];
+    meta.id = stripe;
+    meta.parity_blocks = parity_ids;
+    meta.encoded = true;
+    for (int j = 0; j < m; ++j) {
+      locations_[parity_ids[static_cast<size_t>(j)]] = {
+          plan.parity[static_cast<size_t>(j)]};
+      block_stripe_pos_[parity_ids[static_cast<size_t>(j)]] = {stripe, k + j};
+    }
+  }
+}
+
+bool MiniCfs::is_encoded(StripeId stripe) const {
+  std::lock_guard<std::mutex> lock(namenode_mu_);
+  const auto it = stripe_meta_.find(stripe);
+  return it != stripe_meta_.end() && it->second.encoded;
+}
+
+StripeMeta MiniCfs::stripe_meta(StripeId stripe) const {
+  std::lock_guard<std::mutex> lock(namenode_mu_);
+  const auto it = stripe_meta_.find(stripe);
+  if (it == stripe_meta_.end()) {
+    throw std::runtime_error("unknown stripe");
+  }
+  return it->second;
+}
+
+// ------------------------------------------------------- failure / repair
+
+void MiniCfs::kill_node(NodeId node) {
+  node_alive_[static_cast<size_t>(node)] = false;
+}
+
+void MiniCfs::kill_rack(RackId rack) {
+  for (const NodeId n : topo_.nodes_in_rack(rack)) kill_node(n);
+}
+
+void MiniCfs::revive_all() {
+  std::fill(node_alive_.begin(), node_alive_.end(), true);
+}
+
+bool MiniCfs::node_alive(NodeId node) const {
+  return node_alive_[static_cast<size_t>(node)];
+}
+
+void MiniCfs::repair_block(BlockId block, NodeId target) {
+  std::vector<uint8_t> bytes = read_block(block, target);
+  store(target, block, std::move(bytes));
+  std::lock_guard<std::mutex> lock(namenode_mu_);
+  auto& locs = locations_[block];
+  // Drop dead locations, add the repaired copy.
+  locs.erase(std::remove_if(locs.begin(), locs.end(),
+                            [this](NodeId n) {
+                              return !node_alive_[static_cast<size_t>(n)];
+                            }),
+             locs.end());
+  if (std::find(locs.begin(), locs.end(), target) == locs.end()) {
+    locs.push_back(target);
+  }
+}
+
+// ----------------------------------------------------------- introspection
+
+std::vector<NodeId> MiniCfs::block_locations(BlockId block) const {
+  std::lock_guard<std::mutex> lock(namenode_mu_);
+  const auto it = locations_.find(block);
+  return it == locations_.end() ? std::vector<NodeId>{} : it->second;
+}
+
+int64_t MiniCfs::blocks_stored_on(NodeId node) const {
+  const DataNode& dn = *datanodes_[static_cast<size_t>(node)];
+  std::lock_guard<std::mutex> lock(dn.mu);
+  return static_cast<int64_t>(dn.blocks.size());
+}
+
+}  // namespace ear::cfs

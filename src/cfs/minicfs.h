@@ -1,0 +1,197 @@
+// MiniCfs — an in-process clustered file system with real data paths.
+//
+// This is the repo's stand-in for the paper's Facebook-HDFS testbed (§IV,
+// §V-A).  It keeps the architecture of HDFS + HDFS-RAID:
+//   * a NameNode role (metadata: block locations, stripe map, the
+//     pre-encoding store filled by the placement policy),
+//   * DataNode roles (in-memory block stores holding real bytes),
+//   * a client write path (replication pipeline),
+//   * the encoding operation (download k data blocks to the encoder node,
+//     compute Reed-Solomon parity over the actual bytes, upload parity,
+//     delete redundant replicas),
+//   * failure injection (node / rack kill) and degraded reads + repair via
+//     erasure decoding.
+//
+// All data movement is charged to a pluggable Transport; with
+// ThrottledTransport the cluster physically exhibits the paper's cross-rack
+// bottleneck in real time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cfs/transport.h"
+#include "common/rng.h"
+#include "erasure/rs.h"
+#include "placement/policy.h"
+#include "placement/types.h"
+
+namespace ear::cfs {
+
+struct CfsConfig {
+  int racks = 12;
+  int nodes_per_rack = 1;  // the paper's testbed: one DataNode per rack
+  PlacementConfig placement{};
+  bool use_ear = true;
+  Bytes block_size = 1_MB;
+  erasure::Construction construction = erasure::Construction::kCauchy;
+  uint64_t seed = 1;
+};
+
+// Per-stripe metadata kept by the NameNode after encoding.
+struct StripeMeta {
+  StripeId id = kInvalidStripe;
+  std::vector<BlockId> data_blocks;    // size k
+  std::vector<BlockId> parity_blocks;  // size n - k (empty until encoded)
+  bool encoded = false;
+};
+
+// Full cluster snapshot (see cfs/checkpoint.h).  Plain data so it can be
+// serialized without touching MiniCfs internals.
+struct ClusterImage {
+  CfsConfig config;
+  BlockId next_block_id = 0;
+  std::map<BlockId, std::vector<NodeId>> locations;
+  std::map<StripeId, StripeMeta> stripes;
+  std::map<BlockId, std::pair<StripeId, int>> block_positions;
+  // node -> (block -> bytes)
+  std::vector<std::map<BlockId, std::vector<uint8_t>>> node_blocks;
+};
+
+class MiniCfs {
+ public:
+  MiniCfs(const CfsConfig& config, std::unique_ptr<Transport> transport);
+  ~MiniCfs();
+
+  MiniCfs(const MiniCfs&) = delete;
+  MiniCfs& operator=(const MiniCfs&) = delete;
+
+  const Topology& topology() const { return topo_; }
+  const CfsConfig& config() const { return config_; }
+  Transport& transport() { return *transport_; }
+  PlacementPolicy& policy() { return *policy_; }
+
+  // Swaps the transport.  Used by benches to pre-load data instantly (the
+  // paper's stripes were written long before the measured window) and then
+  // switch to the throttled transport for the experiment itself.
+  void set_transport(std::unique_ptr<Transport> transport) {
+    transport_ = std::move(transport);
+  }
+
+  // ---- client write path -------------------------------------------------
+  // Writes one block (must be exactly block_size bytes) with replication.
+  // Blocks the caller for the duration of the pipeline.  Returns the block
+  // id.  Thread-safe.
+  BlockId write_block(std::span<const uint8_t> data,
+                      std::optional<NodeId> writer = std::nullopt);
+
+  // Writes a full stripe of k blocks with erasure coding ON the write path
+  // (no replication phase) — the alternative Zhang et al. study in the
+  // paper's related work.  The writer computes the parity and pushes all n
+  // blocks to n distinct nodes in n distinct racks.  Returns the stripe id
+  // (disjoint from the asynchronous-encoding stripe ids).  Use to compare
+  // synchronous vs asynchronous encoding.
+  StripeId write_encoded_stripe(
+      const std::vector<std::span<const uint8_t>>& data,
+      std::optional<NodeId> writer = std::nullopt);
+
+  // ---- client read path --------------------------------------------------
+  // Reads a block to `reader`.  Serves from a live replica when one exists;
+  // otherwise performs a degraded read, reconstructing from any k live
+  // blocks of the encoded stripe.  Throws std::runtime_error when the block
+  // is unrecoverable.
+  std::vector<uint8_t> read_block(BlockId block, NodeId reader);
+
+  // ---- encoding (the RaidNode path uses these) ----------------------------
+  std::vector<StripeId> sealed_stripes() const;
+
+  // Encodes one sealed stripe: the calling thread plays the map task.
+  // `encoder_override` forces the encoder node (ablation hook modelling a
+  // JobTracker that ignored the core-rack preference).
+  void encode_stripe(StripeId stripe,
+                     std::optional<NodeId> encoder_override = std::nullopt);
+
+  bool is_encoded(StripeId stripe) const;
+  StripeMeta stripe_meta(StripeId stripe) const;
+
+  // ---- failure & repair ----------------------------------------------------
+  void kill_node(NodeId node);
+  void kill_rack(RackId rack);
+  void revive_all();
+  bool node_alive(NodeId node) const;
+
+  // Reconstructs a lost block of an encoded stripe onto `target` and
+  // registers the new location.
+  void repair_block(BlockId block, NodeId target);
+
+  // Scans every block and restores redundancy after failures (HDFS's
+  // ReplicationMonitor + RaidNode block-fixer roles):
+  //   * replicated blocks with fewer than r live copies are re-replicated
+  //     from a surviving copy onto fresh nodes (preferring unused racks);
+  //   * erasure-coded blocks with no live copy are rebuilt by decoding the
+  //     stripe onto a fresh node;
+  //   * blocks with no live copy and no decodable stripe are reported
+  //     unrecoverable.
+  struct RecoveryReport {
+    int re_replicated = 0;   // replica copies created
+    int repaired = 0;        // blocks rebuilt via decoding
+    int unrecoverable = 0;   // blocks lost for good
+  };
+  RecoveryReport restore_redundancy();
+
+  // ---- snapshots (cfs/checkpoint.h) ----------------------------------------
+  ClusterImage export_image() const;
+  static std::unique_ptr<MiniCfs> from_image(
+      ClusterImage image, std::unique_ptr<Transport> transport);
+
+  // ---- introspection -------------------------------------------------------
+  std::vector<NodeId> block_locations(BlockId block) const;
+  std::vector<BlockId> all_blocks() const;
+  bool is_block_encoded(BlockId block) const;
+  int64_t blocks_stored_on(NodeId node) const;
+  int64_t encode_cross_rack_downloads() const {
+    return encode_cross_rack_downloads_;
+  }
+
+ private:
+  struct DataNode {
+    mutable std::mutex mu;
+    std::map<BlockId, std::vector<uint8_t>> blocks;
+  };
+
+  void store(NodeId node, BlockId block, std::vector<uint8_t> bytes);
+  std::vector<uint8_t> fetch(NodeId node, BlockId block) const;
+  void erase(NodeId node, BlockId block);
+
+  // Picks the source replica for a block download to `dst` (local, then
+  // same-rack, then any live replica).  Returns kInvalidNode if none live.
+  NodeId pick_source(const std::vector<NodeId>& locations, NodeId dst,
+                     bool count_cross_rack_download);
+
+  CfsConfig config_;
+  Topology topo_;
+  std::unique_ptr<Transport> transport_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  erasure::RSCode code_;
+
+  mutable std::mutex namenode_mu_;
+  std::vector<std::unique_ptr<DataNode>> datanodes_;
+  std::map<BlockId, std::vector<NodeId>> locations_;
+  std::map<StripeId, StripeMeta> stripe_meta_;
+  std::map<BlockId, std::pair<StripeId, int>> block_stripe_pos_;  // id -> (stripe, index in stripe 0..n-1)
+  std::vector<std::atomic<bool>> node_alive_;
+  BlockId next_block_id_ = 0;
+  // Inline (write-path) stripes count downward so they never collide with
+  // the placement policy's stripe ids.
+  StripeId next_inline_stripe_id_ = -1;
+  mutable std::mutex rng_mu_;
+  mutable Rng rng_;
+  std::atomic<int64_t> encode_cross_rack_downloads_{0};
+};
+
+}  // namespace ear::cfs

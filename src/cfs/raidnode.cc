@@ -1,0 +1,69 @@
+#include "cfs/raidnode.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/rng.h"
+#include "placement/replica_layout.h"
+
+namespace ear::cfs {
+
+RaidNode::RaidNode(MiniCfs& cfs, int map_slots)
+    : cfs_(&cfs), map_slots_(map_slots) {}
+
+EncodeReport RaidNode::encode_stripes(const std::vector<StripeId>& stripes,
+                                      bool scatter_encoders) {
+  using Clock = std::chrono::steady_clock;
+  EncodeReport report;
+  const auto job_start = Clock::now();
+  const int64_t cross_before = cfs_->transport().cross_rack_bytes();
+  const int64_t downloads_before = cfs_->encode_cross_rack_downloads();
+
+  std::atomic<size_t> next{0};
+  std::mutex report_mu;
+  Rng scatter_rng(0x5ca77e7ULL);
+
+  const int workers =
+      std::min<int>(map_slots_, static_cast<int>(stripes.size()));
+  std::vector<std::thread> tasks;
+  tasks.reserve(static_cast<size_t>(std::max(workers, 0)));
+  for (int w = 0; w < workers; ++w) {
+    tasks.emplace_back([&] {
+      while (true) {
+        const size_t i = next.fetch_add(1);
+        if (i >= stripes.size()) return;
+        std::optional<NodeId> override_encoder;
+        if (scatter_encoders) {
+          std::lock_guard<std::mutex> lock(report_mu);
+          override_encoder = random_node(cfs_->topology(), scatter_rng);
+        }
+        cfs_->encode_stripe(stripes[i], override_encoder);
+        const double t =
+            std::chrono::duration<double>(Clock::now() - job_start).count();
+        std::lock_guard<std::mutex> lock(report_mu);
+        report.completion_times.push_back(t);
+      }
+    });
+  }
+  for (auto& t : tasks) t.join();
+
+  std::sort(report.completion_times.begin(), report.completion_times.end());
+  report.duration_s =
+      std::chrono::duration<double>(Clock::now() - job_start).count();
+  const double encoded_mb = to_mb(cfs_->config().block_size) *
+                            cfs_->config().placement.code.k *
+                            static_cast<double>(stripes.size());
+  if (report.duration_s > 0) {
+    report.throughput_mbps = encoded_mb / report.duration_s;
+  }
+  report.cross_rack_bytes =
+      cfs_->transport().cross_rack_bytes() - cross_before;
+  report.cross_rack_downloads =
+      cfs_->encode_cross_rack_downloads() - downloads_before;
+  return report;
+}
+
+}  // namespace ear::cfs

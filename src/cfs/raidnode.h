@@ -1,0 +1,41 @@
+// RaidNode — coordinates the asynchronous encoding operation (paper §IV-A).
+//
+// Mirrors HDFS-RAID's map-only MapReduce encoding job: `map_slots` worker
+// threads ("map tasks") pull sealed stripes from a shared queue and encode
+// them through MiniCfs::encode_stripe.  Under EAR every plan's encoder node
+// already sits in the stripe's core rack (the paper's preferred-node +
+// encoding-job-flag JobTracker modifications, §IV-B); the ablation hook
+// `scatter_encoders` disables that and assigns uniformly random encoder
+// nodes, quantifying what those modifications buy.
+#pragma once
+
+#include <vector>
+
+#include "cfs/minicfs.h"
+#include "common/stats.h"
+
+namespace ear::cfs {
+
+struct EncodeReport {
+  double duration_s = 0;
+  double throughput_mbps = 0;  // data-block bytes encoded per second
+  // Per-stripe completion times, seconds since the job started (sorted).
+  std::vector<double> completion_times;
+  int64_t cross_rack_bytes = 0;    // transport delta during the job
+  int64_t cross_rack_downloads = 0;  // data blocks fetched across racks
+};
+
+class RaidNode {
+ public:
+  RaidNode(MiniCfs& cfs, int map_slots);
+
+  // Encodes all given stripes; blocks until the job finishes.
+  EncodeReport encode_stripes(const std::vector<StripeId>& stripes,
+                              bool scatter_encoders = false);
+
+ private:
+  MiniCfs* cfs_;
+  int map_slots_;
+};
+
+}  // namespace ear::cfs

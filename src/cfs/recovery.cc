@@ -1,0 +1,193 @@
+// Redundancy restoration after failures — MiniCfs::restore_redundancy and
+// the block-status introspection it relies on.
+#include <algorithm>
+#include <set>
+
+#include "cfs/minicfs.h"
+
+namespace ear::cfs {
+
+std::vector<BlockId> MiniCfs::all_blocks() const {
+  std::lock_guard<std::mutex> lock(namenode_mu_);
+  std::vector<BlockId> out;
+  out.reserve(locations_.size());
+  for (const auto& [block, locs] : locations_) {
+    (void)locs;
+    out.push_back(block);
+  }
+  return out;
+}
+
+bool MiniCfs::is_block_encoded(BlockId block) const {
+  std::lock_guard<std::mutex> lock(namenode_mu_);
+  const auto pos = block_stripe_pos_.find(block);
+  if (pos == block_stripe_pos_.end()) return false;
+  const auto meta = stripe_meta_.find(pos->second.first);
+  return meta != stripe_meta_.end() && meta->second.encoded;
+}
+
+MiniCfs::RecoveryReport MiniCfs::restore_redundancy() {
+  RecoveryReport report;
+  const std::vector<BlockId> blocks = all_blocks();
+
+  for (const BlockId block : blocks) {
+    std::vector<NodeId> locs = block_locations(block);
+    std::vector<NodeId> live;
+    for (const NodeId n : locs) {
+      if (node_alive_[static_cast<size_t>(n)]) live.push_back(n);
+    }
+    const bool encoded = is_block_encoded(block);
+    const int target = encoded ? 1 : config_.placement.replication;
+    if (static_cast<int>(live.size()) >= target) {
+      // Still prune dead locations so later reads don't retry them.
+      if (live.size() != locs.size()) {
+        std::lock_guard<std::mutex> lock(namenode_mu_);
+        locations_[block] = live;
+      }
+      continue;
+    }
+
+    if (live.empty()) {
+      if (!encoded) {
+        ++report.unrecoverable;
+        continue;
+      }
+      // Rebuild via erasure decoding onto a fresh live node, preferring a
+      // rack holding no other block of the stripe.
+      std::set<RackId> used_racks;
+      {
+        std::lock_guard<std::mutex> lock(namenode_mu_);
+        const StripeId stripe = block_stripe_pos_.at(block).first;
+        const StripeMeta& meta = stripe_meta_.at(stripe);
+        std::vector<BlockId> siblings = meta.data_blocks;
+        siblings.insert(siblings.end(), meta.parity_blocks.begin(),
+                        meta.parity_blocks.end());
+        for (const BlockId sibling : siblings) {
+          const auto it = locations_.find(sibling);
+          if (it == locations_.end()) continue;
+          for (const NodeId n : it->second) {
+            if (node_alive_[static_cast<size_t>(n)]) {
+              used_racks.insert(topo_.rack_of(n));
+            }
+          }
+        }
+      }
+      NodeId target_node = kInvalidNode;
+      for (NodeId n = 0; n < topo_.node_count(); ++n) {
+        if (node_alive_[static_cast<size_t>(n)] &&
+            !used_racks.count(topo_.rack_of(n))) {
+          target_node = n;
+          break;
+        }
+      }
+      if (target_node == kInvalidNode) {
+        for (NodeId n = 0; n < topo_.node_count(); ++n) {
+          if (node_alive_[static_cast<size_t>(n)]) {
+            target_node = n;
+            break;
+          }
+        }
+      }
+      if (target_node == kInvalidNode) {
+        ++report.unrecoverable;
+        continue;
+      }
+      try {
+        repair_block(block, target_node);
+        ++report.repaired;
+      } catch (const std::runtime_error&) {
+        ++report.unrecoverable;
+      }
+      continue;
+    }
+
+    // Under-replicated: copy from a live replica onto fresh nodes,
+    // preferring racks not already holding a copy.
+    while (static_cast<int>(live.size()) < target) {
+      std::set<RackId> used;
+      for (const NodeId n : live) used.insert(topo_.rack_of(n));
+      NodeId dst = kInvalidNode;
+      for (NodeId n = 0; n < topo_.node_count(); ++n) {
+        if (!node_alive_[static_cast<size_t>(n)]) continue;
+        if (std::find(live.begin(), live.end(), n) != live.end()) continue;
+        if (!used.count(topo_.rack_of(n))) {
+          dst = n;
+          break;
+        }
+      }
+      if (dst == kInvalidNode) {
+        for (NodeId n = 0; n < topo_.node_count(); ++n) {
+          if (node_alive_[static_cast<size_t>(n)] &&
+              std::find(live.begin(), live.end(), n) == live.end()) {
+            dst = n;
+            break;
+          }
+        }
+      }
+      if (dst == kInvalidNode) break;  // cluster too degraded to reach r
+
+      const NodeId src = live[0];
+      transport_->transfer(src, dst, config_.block_size);
+      store(dst, block, fetch(src, block));
+      live.push_back(dst);
+      ++report.re_replicated;
+    }
+    std::lock_guard<std::mutex> lock(namenode_mu_);
+    locations_[block] = live;
+  }
+  return report;
+}
+
+
+ClusterImage MiniCfs::export_image() const {
+  ClusterImage image;
+  image.config = config_;
+  {
+    std::lock_guard<std::mutex> lock(namenode_mu_);
+    image.next_block_id = next_block_id_;
+    image.locations = locations_;
+    image.stripes = stripe_meta_;
+    image.block_positions = block_stripe_pos_;
+  }
+  image.node_blocks.resize(datanodes_.size());
+  for (size_t i = 0; i < datanodes_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(datanodes_[i]->mu);
+    image.node_blocks[i] = datanodes_[i]->blocks;
+  }
+  return image;
+}
+
+std::unique_ptr<MiniCfs> MiniCfs::from_image(
+    ClusterImage image, std::unique_ptr<Transport> transport) {
+  auto cfs = std::make_unique<MiniCfs>(image.config, std::move(transport));
+  if (image.node_blocks.size() !=
+      static_cast<size_t>(cfs->topo_.node_count())) {
+    throw std::runtime_error("checkpoint topology mismatch");
+  }
+  {
+    std::lock_guard<std::mutex> lock(cfs->namenode_mu_);
+    cfs->next_block_id_ = image.next_block_id;
+    cfs->locations_ = std::move(image.locations);
+    cfs->stripe_meta_ = std::move(image.stripes);
+    cfs->block_stripe_pos_ = std::move(image.block_positions);
+    // New stripes must not collide with snapshotted ones (the fresh
+    // placement policy restarts its id counter at 0); inline stripes count
+    // downward and need the same treatment.
+    StripeId max_policy_stripe = -1;
+    StripeId min_inline_stripe = 0;
+    for (const auto& [id, meta] : cfs->stripe_meta_) {
+      (void)meta;
+      max_policy_stripe = std::max(max_policy_stripe, id);
+      min_inline_stripe = std::min(min_inline_stripe, id);
+    }
+    cfs->policy_->reserve_stripe_ids(max_policy_stripe + 1);
+    cfs->next_inline_stripe_id_ = min_inline_stripe - 1;
+  }
+  for (size_t i = 0; i < image.node_blocks.size(); ++i) {
+    std::lock_guard<std::mutex> lock(cfs->datanodes_[i]->mu);
+    cfs->datanodes_[i]->blocks = std::move(image.node_blocks[i]);
+  }
+  return cfs;
+}
+
+}  // namespace ear::cfs

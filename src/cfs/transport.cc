@@ -1,0 +1,96 @@
+#include "cfs/transport.h"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+namespace ear::cfs {
+
+ThrottledTransport::ThrottledTransport(const Topology& topo,
+                                       const ThrottleConfig& config)
+    : topo_(topo), config_(config) {
+  const int net_links = 2 * topo.node_count() + 2 * topo.rack_count();
+  const int total = net_links + topo.node_count();  // + per-node disks
+  links_.reserve(static_cast<size_t>(total));
+  const auto now = Clock::now();
+  for (int i = 0; i < total; ++i) {
+    auto link = std::make_unique<Link>();
+    link->available_at = now;
+    double bw;
+    if (i >= net_links) {
+      bw = config.disk_bw > 0 ? config.disk_bw : 1e18;  // 0 = free
+    } else if (i < 2 * topo.node_count()) {
+      bw = config.node_bw;
+    } else {
+      bw = config.rack_uplink_bw;
+    }
+    link->seconds_per_byte = 1.0 / bw;
+    links_.push_back(std::move(link));
+  }
+}
+
+void ThrottledTransport::local_read(NodeId node, Bytes size) {
+  if (config_.disk_bw <= 0 || size == 0) return;
+  Bytes remaining = size;
+  while (remaining > 0) {
+    const Bytes chunk = std::min(remaining, config_.chunk_size);
+    remaining -= chunk;
+    std::this_thread::sleep_until(reserve(disk(node), chunk));
+  }
+}
+
+ThrottledTransport::Clock::time_point ThrottledTransport::reserve(
+    int idx, Bytes bytes) {
+  Link& link = *links_[static_cast<size_t>(idx)];
+  std::lock_guard<std::mutex> lock(link.mu);
+  const auto now = Clock::now();
+  const auto start = std::max(now, link.available_at);
+  const auto duration = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(static_cast<double>(bytes) *
+                                    link.seconds_per_byte));
+  link.available_at = start + duration;
+  return link.available_at;
+}
+
+void ThrottledTransport::transfer(NodeId src, NodeId dst, Bytes size) {
+  do_transfer(src, dst, size, /*wait=*/true);
+}
+
+void ThrottledTransport::inject(NodeId src, NodeId dst, Bytes size) {
+  do_transfer(src, dst, size, /*wait=*/false);
+}
+
+void ThrottledTransport::do_transfer(NodeId src, NodeId dst, Bytes size,
+                                     bool wait) {
+  if (src == dst || size == 0) return;
+
+  std::vector<int> path;
+  path.push_back(node_up(src));
+  const bool cross = !topo_.same_rack(src, dst);
+  if (cross) {
+    path.push_back(rack_up(topo_.rack_of(src)));
+    path.push_back(rack_down(topo_.rack_of(dst)));
+  }
+  path.push_back(node_down(dst));
+
+  Bytes remaining = size;
+  while (remaining > 0) {
+    const Bytes chunk = std::min(remaining, config_.chunk_size);
+    remaining -= chunk;
+    Clock::time_point done = Clock::now();
+    // The chunk occupies each link of the path; links operate in parallel
+    // (cut-through), so the chunk lands when the slowest reservation ends.
+    for (const int idx : path) {
+      done = std::max(done, reserve(idx, chunk));
+    }
+    if (wait) std::this_thread::sleep_until(done);
+  }
+
+  if (cross) {
+    cross_ += size;
+  } else {
+    intra_ += size;
+  }
+}
+
+}  // namespace ear::cfs

@@ -1,0 +1,129 @@
+// Data transports for the mini-CFS "testbed" (our stand-in for the paper's
+// 13-machine HDFS cluster, §V-A).
+//
+// The testbed moves real bytes between in-process DataNodes; the transport
+// decides how long each movement takes:
+//  * InstantTransport   — functional tests: only byte accounting.
+//  * ThrottledTransport — experiments: every link of the CFS topology
+//    (node up/down, rack up/down) is a fluid FIFO reservation queue with a
+//    configured bandwidth; concurrent transfers contend chunk-by-chunk in
+//    real time, reproducing the cross-rack bottleneck physically.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/units.h"
+#include "topology/topology.h"
+
+namespace ear::cfs {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Blocks the calling thread until `size` bytes have "moved" from src to
+  // dst.  src == dst is a local copy and costs nothing.
+  virtual void transfer(NodeId src, NodeId dst, Bytes size) = 0;
+
+  // Charges a local disk read on `node` (used when the encoder reads a
+  // replica it already stores).  Default: free.
+  virtual void local_read(NodeId node, Bytes size) {
+    (void)node;
+    (void)size;
+  }
+
+  // Consumes link capacity without waiting for delivery — models
+  // unresponsive (UDP-style) traffic that keeps transmitting regardless of
+  // congestion, as the paper's Iperf injection does.  Default: same as
+  // transfer.
+  virtual void inject(NodeId src, NodeId dst, Bytes size) {
+    transfer(src, dst, size);
+  }
+
+  virtual int64_t cross_rack_bytes() const = 0;
+  virtual int64_t intra_rack_bytes() const = 0;
+};
+
+// Counts bytes, takes zero time.  For functional tests.
+class InstantTransport final : public Transport {
+ public:
+  explicit InstantTransport(const Topology& topo) : topo_(topo) {}
+
+  void transfer(NodeId src, NodeId dst, Bytes size) override {
+    if (src == dst) return;
+    if (topo_.same_rack(src, dst)) {
+      intra_ += size;
+    } else {
+      cross_ += size;
+    }
+  }
+
+  int64_t cross_rack_bytes() const override { return cross_; }
+  int64_t intra_rack_bytes() const override { return intra_; }
+
+ private:
+  Topology topo_;
+  std::atomic<int64_t> cross_{0};
+  std::atomic<int64_t> intra_{0};
+};
+
+struct ThrottleConfig {
+  BytesPerSec node_bw = 200e6;         // emulated link speeds; scaled-down
+  BytesPerSec rack_uplink_bw = 200e6;  // testbeds use ~100-400 MB/s
+  Bytes chunk_size = 1_MB;             // reservation granularity
+  // Local disk bandwidth per node; 0 = local reads are free.  The paper's
+  // testbed disks (~130 MB/s SATA) are comparable to its 1 Gb/s links.
+  BytesPerSec disk_bw = 0;
+};
+
+class ThrottledTransport final : public Transport {
+ public:
+  ThrottledTransport(const Topology& topo, const ThrottleConfig& config);
+
+  void transfer(NodeId src, NodeId dst, Bytes size) override;
+  void local_read(NodeId node, Bytes size) override;
+  void inject(NodeId src, NodeId dst, Bytes size) override;
+
+  int64_t cross_rack_bytes() const override { return cross_; }
+  int64_t intra_rack_bytes() const override { return intra_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  // Fluid FIFO reservation: each link hands out time slots; a chunk on a
+  // link occupies chunk/bw seconds starting no earlier than the link's
+  // previous reservation end.
+  struct Link {
+    std::mutex mu;
+    Clock::time_point available_at{};
+    double seconds_per_byte = 0;
+  };
+
+  int node_up(NodeId n) const { return n; }
+  int node_down(NodeId n) const { return topo_.node_count() + n; }
+  int rack_up(RackId r) const { return 2 * topo_.node_count() + r; }
+  int rack_down(RackId r) const {
+    return 2 * topo_.node_count() + topo_.rack_count() + r;
+  }
+  int disk(NodeId n) const {
+    return 2 * topo_.node_count() + 2 * topo_.rack_count() + n;
+  }
+
+  // Reserves `bytes` on link `idx`; returns when the reservation ends.
+  Clock::time_point reserve(int idx, Bytes bytes);
+
+  void do_transfer(NodeId src, NodeId dst, Bytes size, bool wait);
+
+  Topology topo_;
+  ThrottleConfig config_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::atomic<int64_t> cross_{0};
+  std::atomic<int64_t> intra_{0};
+};
+
+}  // namespace ear::cfs

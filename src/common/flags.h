@@ -1,0 +1,70 @@
+// Minimal command-line flag parsing for example and bench binaries.
+//
+// Usage:
+//   FlagParser flags(argc, argv);
+//   int k = flags.get_int("k", 10);
+//   bool paper = flags.get_bool("paper-scale");
+// Flags are written as --name=value or --name value; bare --name is a boolean.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ear {
+
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback = "") const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t get_int(const std::string& name, int64_t fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  bool get_bool(const std::string& name, bool fallback = false) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second != "false" && it->second != "0";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ear

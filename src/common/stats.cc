@@ -1,0 +1,17 @@
+#include "common/stats.h"
+
+#include <cstdio>
+
+namespace ear {
+
+std::string format_boxplot(const Summary& s) {
+  if (s.empty()) return "(no samples)";
+  const Summary::Boxplot b = s.boxplot();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f", b.min, b.q1,
+                b.median, b.q3, b.max);
+  return buf;
+}
+
+}  // namespace ear

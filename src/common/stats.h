@@ -1,0 +1,84 @@
+// Small statistics helpers shared by benches and tests: running summaries,
+// percentiles and the five-number boxplot summary the paper's Figure 13 uses.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ear {
+
+// Accumulates samples and answers summary queries.  Percentile queries sort a
+// copy lazily; intended for experiment post-processing, not hot loops.
+class Summary {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sum_ += x;
+  }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double sum() const { return sum_; }
+
+  double mean() const {
+    return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+  }
+
+  double min() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double max() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double x : samples_) acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  }
+
+  // Linear-interpolation percentile, q in [0, 1].
+  double percentile(double q) const {
+    assert(!samples_.empty());
+    assert(q >= 0.0 && q <= 1.0);
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  double median() const { return percentile(0.5); }
+
+  // min / Q1 / median / Q3 / max — the boxplot rows printed for Figure 13.
+  struct Boxplot {
+    double min, q1, median, q3, max;
+  };
+  Boxplot boxplot() const {
+    return Boxplot{min(), percentile(0.25), median(), percentile(0.75), max()};
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+// Fixed-format boxplot row used by the figure-13 benches.
+std::string format_boxplot(const Summary& s);
+
+}  // namespace ear

@@ -1,0 +1,118 @@
+#include "erasure/crs.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "gf256/gf256.h"
+
+namespace ear::erasure {
+
+namespace {
+
+// Applies a GF(2^8) coefficient matrix to bit-sliced blocks: out[r] =
+// sum_c coeffs(r, c) * src[c], where multiplication expands to the 8x8
+// binary matrix XOR schedule over w packets.
+void apply_bitmatrix(const Matrix& coeffs,
+                     const std::vector<BlockView>& src,
+                     const std::vector<MutBlockView>& out) {
+  constexpr int w = CRSCode::kW;
+  const size_t block = src.empty() ? 0 : src[0].size();
+  assert(block % w == 0);
+  const size_t packet = block / w;
+
+  for (int r = 0; r < coeffs.rows(); ++r) {
+    MutBlockView dst = out[static_cast<size_t>(r)];
+    std::fill(dst.begin(), dst.end(), uint8_t{0});
+    for (int c = 0; c < coeffs.cols(); ++c) {
+      const uint8_t coeff = coeffs.at(r, c);
+      if (coeff == 0) continue;
+      const BlockView in = src[static_cast<size_t>(c)];
+      for (int j = 0; j < w; ++j) {
+        const uint8_t column = gf::mul(coeff, static_cast<uint8_t>(1u << j));
+        for (int i = 0; i < w; ++i) {
+          if (column & (1u << i)) {
+            gf::xor_add(
+                in.subspan(static_cast<size_t>(j) * packet, packet),
+                dst.subspan(static_cast<size_t>(i) * packet, packet));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CRSCode::CRSCode(int n, int k)
+    : byte_code_(n, k, Construction::kCauchy) {
+  const int m = n - k;
+  schedule_.resize(static_cast<size_t>(m) * kW);
+
+  // Expand each generator coefficient into its 8x8 binary matrix: column j
+  // holds the bit pattern of coeff * x^j, so parity bit-row i of the
+  // coefficient block includes data packet j iff bit i of mul(coeff, 2^j)
+  // is set.
+  const Matrix& gen = byte_code_.generator();
+  for (int pr = 0; pr < m; ++pr) {
+    for (int c = 0; c < k; ++c) {
+      const uint8_t coeff = gen.at(k + pr, c);
+      if (coeff == 0) continue;
+      for (int j = 0; j < kW; ++j) {
+        const uint8_t column = gf::mul(coeff, static_cast<uint8_t>(1u << j));
+        for (int i = 0; i < kW; ++i) {
+          if (column & (1u << i)) {
+            schedule_[static_cast<size_t>(pr) * kW + i].push_back(c * kW + j);
+            ++xor_count_;
+          }
+        }
+      }
+    }
+  }
+}
+
+void CRSCode::encode(const std::vector<BlockView>& data,
+                     const std::vector<MutBlockView>& parity) const {
+  assert(static_cast<int>(data.size()) == k());
+  assert(static_cast<int>(parity.size()) == m());
+  const size_t block = data.empty() ? 0 : data[0].size();
+  if (block % kW != 0) {
+    throw std::invalid_argument("CRS: block size must be divisible by 8");
+  }
+  const size_t packet = block / kW;
+
+  for (int pr = 0; pr < m(); ++pr) {
+    MutBlockView out = parity[static_cast<size_t>(pr)];
+    assert(out.size() == block);
+    for (int i = 0; i < kW; ++i) {
+      MutBlockView out_packet = out.subspan(static_cast<size_t>(i) * packet,
+                                            packet);
+      std::fill(out_packet.begin(), out_packet.end(), uint8_t{0});
+      for (const int src :
+           schedule_[static_cast<size_t>(pr) * kW + i]) {
+        const int data_block = src / kW;
+        const int data_packet = src % kW;
+        gf::xor_add(data[static_cast<size_t>(data_block)].subspan(
+                        static_cast<size_t>(data_packet) * packet, packet),
+                    out_packet);
+      }
+    }
+  }
+}
+
+bool CRSCode::reconstruct(const std::vector<int>& available_ids,
+                          const std::vector<BlockView>& available,
+                          const std::vector<int>& wanted_ids,
+                          const std::vector<MutBlockView>& out) const {
+  assert(static_cast<int>(available_ids.size()) == k());
+  assert(wanted_ids.size() == out.size());
+  // Decode coefficients in GF(2^8); the bit-matrix expansion of each
+  // coefficient then acts on the bit-sliced layout.
+  const Matrix& gen = byte_code_.generator();
+  const Matrix decode = gen.select_rows(available_ids).inverted();
+  if (decode.rows() == 0) return false;
+  const Matrix coeffs = gen.select_rows(wanted_ids).multiply(decode);
+  apply_bitmatrix(coeffs, available, out);
+  return true;
+}
+
+}  // namespace ear::erasure

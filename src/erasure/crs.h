@@ -1,0 +1,57 @@
+// Cauchy Reed-Solomon with bit-matrix (XOR-only) encoding — the technique
+// of Blaum et al. / Plank's Jerasure that HDFS-RAID's CRS codec uses
+// (paper §II-A cites Cauchy Reed-Solomon codes [3]).
+//
+// Each GF(2^8) coefficient a of the Cauchy generator expands into an 8x8
+// binary matrix whose column j holds the bits of a * x^j; a block is split
+// into w = 8 equal packets and every parity packet becomes a pure XOR of
+// selected data packets.  Field symbols are bit-sliced across the packets
+// (bit b of byte t of packets 0..7 forms one GF(2^8) element), so the
+// parity *bytes* differ from the byte-wise RSCode even though the code is
+// the same Cauchy MDS code; decoding therefore also runs through bit
+// matrices.  The map a -> M_a is a ring isomorphism, so the decode
+// coefficients computed in GF(2^8) expand to correct XOR schedules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "erasure/rs.h"
+
+namespace ear::erasure {
+
+class CRSCode {
+ public:
+  static constexpr int kW = 8;  // bits per field element / packets per block
+
+  CRSCode(int n, int k);
+
+  int n() const { return byte_code_.n(); }
+  int k() const { return byte_code_.k(); }
+  int m() const { return byte_code_.m(); }
+
+  // XOR-only encode.  Block sizes must be equal and divisible by 8.
+  void encode(const std::vector<BlockView>& data,
+              const std::vector<MutBlockView>& parity) const;
+
+  // XOR-only reconstruction of `wanted_ids` from any k available blocks.
+  bool reconstruct(const std::vector<int>& available_ids,
+                   const std::vector<BlockView>& available,
+                   const std::vector<int>& wanted_ids,
+                   const std::vector<MutBlockView>& out) const;
+
+  // Total XORed source packets across the schedule — the density metric
+  // Jerasure optimizes; useful for comparing constructions.
+  int64_t schedule_xor_count() const { return xor_count_; }
+
+  const RSCode& byte_code() const { return byte_code_; }
+
+ private:
+  RSCode byte_code_;
+  // For parity packet r (r in [0, m*8)): list of data packet indices
+  // (in [0, k*8)) to XOR together.
+  std::vector<std::vector<int>> schedule_;
+  int64_t xor_count_ = 0;
+};
+
+}  // namespace ear::erasure

@@ -1,0 +1,105 @@
+#include "erasure/rs.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gf256/gf256.h"
+
+namespace ear::erasure {
+
+namespace {
+
+Matrix make_generator(int n, int k, Construction construction) {
+  if (construction == Construction::kCauchy) {
+    Matrix g(n, k);
+    for (int r = 0; r < k; ++r) g.at(r, r) = 1;
+    const Matrix c = Matrix::cauchy(n - k, k);
+    for (int r = 0; r < n - k; ++r) {
+      for (int col = 0; col < k; ++col) {
+        g.at(k + r, col) = c.at(r, col);
+      }
+    }
+    return g;
+  }
+
+  // Vandermonde: systematize V by post-multiplying with inv(top k x k).
+  const Matrix v = Matrix::vandermonde(n, k);
+  std::vector<int> top(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) top[static_cast<size_t>(i)] = i;
+  const Matrix head_inv = v.select_rows(top).inverted();
+  assert(head_inv.rows() == k && "top Vandermonde square must be invertible");
+  return v.multiply(head_inv);
+}
+
+// dst[j] (+)= sum_i coeff[row][i] * src[i], applied blockwise.
+void apply_rows(const Matrix& coeffs, const std::vector<BlockView>& src,
+                const std::vector<MutBlockView>& dst) {
+  assert(static_cast<size_t>(coeffs.rows()) == dst.size());
+  assert(static_cast<size_t>(coeffs.cols()) == src.size());
+  for (int r = 0; r < coeffs.rows(); ++r) {
+    MutBlockView out = dst[static_cast<size_t>(r)];
+    bool first = true;
+    for (int c = 0; c < coeffs.cols(); ++c) {
+      const uint8_t coeff = coeffs.at(r, c);
+      const BlockView in = src[static_cast<size_t>(c)];
+      assert(in.size() == out.size());
+      if (first) {
+        gf::mul_assign(coeff, in, out);
+        first = false;
+      } else {
+        gf::mul_add(coeff, in, out);
+      }
+    }
+    if (first) {
+      std::fill(out.begin(), out.end(), uint8_t{0});
+    }
+  }
+}
+
+}  // namespace
+
+RSCode::RSCode(int n, int k, Construction construction)
+    : n_(n), k_(k), construction_(construction),
+      generator_(make_generator(n, k, construction)) {
+  assert(k >= 1 && k < n && n <= 255);
+}
+
+void RSCode::encode(const std::vector<BlockView>& data,
+                    const std::vector<MutBlockView>& parity) const {
+  assert(static_cast<int>(data.size()) == k_);
+  assert(static_cast<int>(parity.size()) == m());
+  std::vector<int> parity_rows;
+  parity_rows.reserve(static_cast<size_t>(m()));
+  for (int r = k_; r < n_; ++r) parity_rows.push_back(r);
+  apply_rows(generator_.select_rows(parity_rows), data, parity);
+}
+
+bool RSCode::reconstruct(const std::vector<int>& available_ids,
+                         const std::vector<BlockView>& available,
+                         const std::vector<int>& wanted_ids,
+                         const std::vector<MutBlockView>& out) const {
+  assert(static_cast<int>(available_ids.size()) == k_);
+  assert(available.size() == available_ids.size());
+  assert(wanted_ids.size() == out.size());
+
+  // Rows of the generator for the available blocks map the original data to
+  // the available blocks; inverting recovers data coefficients.
+  const Matrix decode = generator_.select_rows(available_ids).inverted();
+  if (decode.rows() == 0) return false;
+
+  // wanted = G[wanted_rows] * decode * available.
+  const Matrix coeffs = generator_.select_rows(wanted_ids).multiply(decode);
+  apply_rows(coeffs, available, out);
+  return true;
+}
+
+bool RSCode::decode_data(const std::vector<int>& available_ids,
+                         const std::vector<BlockView>& available,
+                         const std::vector<MutBlockView>& data_out) const {
+  assert(static_cast<int>(data_out.size()) == k_);
+  std::vector<int> wanted(static_cast<size_t>(k_));
+  for (int i = 0; i < k_; ++i) wanted[static_cast<size_t>(i)] = i;
+  return reconstruct(available_ids, available, wanted, data_out);
+}
+
+}  // namespace ear::erasure

@@ -1,0 +1,73 @@
+// Systematic (n, k) Reed-Solomon codec over GF(2^8).
+//
+// A stripe holds n = k + m blocks: k original data blocks plus m parity
+// blocks.  Any k of the n blocks suffice to reconstruct all k data blocks
+// (the MDS property).  Two generator constructions are provided:
+//
+//  * kVandermonde — the construction used by HDFS-RAID / Jerasure: an n x k
+//    Vandermonde matrix post-multiplied by the inverse of its top k x k
+//    square, yielding a systematic generator whose every k-row subset is
+//    nonsingular.
+//  * kCauchy — generator [I ; C] with C a Cauchy matrix; every square
+//    submatrix of a Cauchy matrix is nonsingular, which gives the MDS
+//    property directly.
+//
+// Block indices: 0..k-1 are data blocks, k..n-1 are parity blocks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "erasure/matrix.h"
+
+namespace ear::erasure {
+
+using BlockView = std::span<const uint8_t>;
+using MutBlockView = std::span<uint8_t>;
+
+enum class Construction { kVandermonde, kCauchy };
+
+class RSCode {
+ public:
+  // Requires 1 <= k < n <= 255 (n - k <= 128 for Cauchy index disjointness).
+  RSCode(int n, int k, Construction construction = Construction::kCauchy);
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  int m() const { return n_ - k_; }
+  Construction construction() const { return construction_; }
+
+  // Full n x k systematic generator (top k rows are the identity).
+  const Matrix& generator() const { return generator_; }
+
+  // Computes the m parity blocks from the k data blocks.  All blocks must
+  // have equal size; parity blocks are overwritten.
+  void encode(const std::vector<BlockView>& data,
+              const std::vector<MutBlockView>& parity) const;
+
+  // Reconstructs the blocks listed in `wanted_ids` (any mix of data and
+  // parity indices) from any k available blocks.  `available_ids` must list
+  // k distinct block indices in [0, n); `available[i]` is the content of
+  // block `available_ids[i]`.  Returns false iff the decode matrix is
+  // singular, which cannot happen for a correct MDS construction and is
+  // treated as a defect, not an expected error.
+  bool reconstruct(const std::vector<int>& available_ids,
+                   const std::vector<BlockView>& available,
+                   const std::vector<int>& wanted_ids,
+                   const std::vector<MutBlockView>& out) const;
+
+  // Convenience wrapper: recover all k data blocks from any k available
+  // blocks.
+  bool decode_data(const std::vector<int>& available_ids,
+                   const std::vector<BlockView>& available,
+                   const std::vector<MutBlockView>& data_out) const;
+
+ private:
+  int n_;
+  int k_;
+  Construction construction_;
+  Matrix generator_;  // n x k, rows 0..k-1 form the identity
+};
+
+}  // namespace ear::erasure

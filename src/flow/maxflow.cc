@@ -1,0 +1,133 @@
+#include "flow/maxflow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace ear::flow {
+
+MaxFlow::MaxFlow(int vertex_count)
+    : vertex_count_(vertex_count), graph_(static_cast<size_t>(vertex_count)) {
+  assert(vertex_count > 0);
+}
+
+int MaxFlow::add_edge(int from, int to, int64_t capacity) {
+  assert(from >= 0 && from < vertex_count_);
+  assert(to >= 0 && to < vertex_count_);
+  assert(capacity >= 0);
+  auto& fwd_list = graph_[static_cast<size_t>(from)];
+  auto& rev_list = graph_[static_cast<size_t>(to)];
+  const int fwd_offset = static_cast<int>(fwd_list.size());
+  const int rev_offset = static_cast<int>(rev_list.size()) +
+                         (from == to ? 1 : 0);
+  fwd_list.push_back(Edge{to, capacity, rev_offset, capacity});
+  rev_list.push_back(Edge{from, 0, fwd_offset, 0});
+  edge_index_.emplace_back(from, fwd_offset);
+  return static_cast<int>(edge_index_.size()) - 1;
+}
+
+bool MaxFlow::bfs(int s, int t) {
+  level_.assign(static_cast<size_t>(vertex_count_), -1);
+  std::queue<int> q;
+  level_[static_cast<size_t>(s)] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (const Edge& e : graph_[static_cast<size_t>(v)]) {
+      if (e.cap > 0 && level_[static_cast<size_t>(e.to)] < 0) {
+        level_[static_cast<size_t>(e.to)] = level_[static_cast<size_t>(v)] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return level_[static_cast<size_t>(t)] >= 0;
+}
+
+int64_t MaxFlow::dfs(int v, int t, int64_t pushed) {
+  if (v == t) return pushed;
+  auto& it = iter_[static_cast<size_t>(v)];
+  auto& edges = graph_[static_cast<size_t>(v)];
+  for (; it < static_cast<int>(edges.size()); ++it) {
+    Edge& e = edges[static_cast<size_t>(it)];
+    if (e.cap <= 0 ||
+        level_[static_cast<size_t>(e.to)] != level_[static_cast<size_t>(v)] + 1) {
+      continue;
+    }
+    const int64_t got = dfs(e.to, t, std::min(pushed, e.cap));
+    if (got > 0) {
+      e.cap -= got;
+      graph_[static_cast<size_t>(e.to)][static_cast<size_t>(e.rev)].cap += got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+int64_t MaxFlow::solve(int s, int t) {
+  assert(s != t);
+  int64_t total = 0;
+  while (bfs(s, t)) {
+    iter_.assign(static_cast<size_t>(vertex_count_), 0);
+    while (int64_t pushed =
+               dfs(s, t, std::numeric_limits<int64_t>::max())) {
+      total += pushed;
+    }
+  }
+  // Add flow pushed by previous solve() calls: derive from source edges.
+  // (total above counts only this call; recompute the cumulative value.)
+  int64_t cumulative = 0;
+  for (const Edge& e : graph_[static_cast<size_t>(s)]) {
+    cumulative += e.original_cap - e.cap;
+  }
+  return cumulative;
+}
+
+int64_t MaxFlow::edge_flow(int id) const {
+  const auto [v, off] = edge_index_.at(static_cast<size_t>(id));
+  const Edge& e = graph_[static_cast<size_t>(v)][static_cast<size_t>(off)];
+  return e.original_cap - e.cap;
+}
+
+int64_t MaxFlow::edge_residual(int id) const {
+  const auto [v, off] = edge_index_.at(static_cast<size_t>(id));
+  return graph_[static_cast<size_t>(v)][static_cast<size_t>(off)].cap;
+}
+
+std::vector<int> maximum_bipartite_matching(
+    int left_count, int right_count,
+    const std::vector<std::vector<int>>& adjacency) {
+  assert(static_cast<int>(adjacency.size()) == left_count);
+  const int s = left_count + right_count;
+  const int t = s + 1;
+  MaxFlow mf(left_count + right_count + 2);
+
+  std::vector<std::vector<int>> edge_ids(static_cast<size_t>(left_count));
+  for (int l = 0; l < left_count; ++l) {
+    mf.add_edge(s, l, 1);
+    for (const int r : adjacency[static_cast<size_t>(l)]) {
+      assert(r >= 0 && r < right_count);
+      edge_ids[static_cast<size_t>(l)].push_back(
+          mf.add_edge(l, left_count + r, 1));
+    }
+  }
+  for (int r = 0; r < right_count; ++r) {
+    mf.add_edge(left_count + r, t, 1);
+  }
+  mf.solve(s, t);
+
+  std::vector<int> match(static_cast<size_t>(left_count), -1);
+  for (int l = 0; l < left_count; ++l) {
+    const auto& ids = edge_ids[static_cast<size_t>(l)];
+    for (size_t j = 0; j < ids.size(); ++j) {
+      if (mf.edge_flow(ids[j]) > 0) {
+        match[static_cast<size_t>(l)] = adjacency[static_cast<size_t>(l)][j];
+        break;
+      }
+    }
+  }
+  return match;
+}
+
+}  // namespace ear::flow

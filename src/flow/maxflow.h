@@ -1,0 +1,62 @@
+// Dinic's maximum-flow algorithm on small integer-capacity graphs.
+//
+// EAR's feasibility check (paper §III-B) reduces replica selection to a
+// max-flow instance with O(k + nodes + racks) vertices, so the graphs here
+// are tiny; Dinic's O(V^2 E) worst case is irrelevant at this scale but its
+// incremental re-solve (add edges, continue pushing flow) is exactly what the
+// per-block placement loop of §III-C needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ear::flow {
+
+class MaxFlow {
+ public:
+  // Vertices are dense ints [0, vertex_count).
+  explicit MaxFlow(int vertex_count);
+
+  int vertex_count() const { return vertex_count_; }
+
+  // Adds a directed edge and returns its id (usable with edge_flow /
+  // set_capacity).  Capacity must be >= 0.
+  int add_edge(int from, int to, int64_t capacity);
+
+  // Computes max flow from s to t.  May be called repeatedly after adding
+  // edges; flow already pushed is retained, so successive calls return the
+  // *total* flow pushed so far.
+  int64_t solve(int s, int t);
+
+  // Flow currently assigned to edge `id`.
+  int64_t edge_flow(int id) const;
+
+  // Remaining capacity of edge `id`.
+  int64_t edge_residual(int id) const;
+
+ private:
+  struct Edge {
+    int to;
+    int64_t cap;  // residual capacity
+    int rev;      // index of the reverse edge in graph_[to]
+    int64_t original_cap;
+  };
+
+  bool bfs(int s, int t);
+  int64_t dfs(int v, int t, int64_t pushed);
+
+  int vertex_count_;
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<std::pair<int, int>> edge_index_;  // id -> (vertex, offset)
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+// Maximum bipartite matching between `left_count` left vertices and
+// `right_count` right vertices, given adjacency (left -> list of right).
+// Returns for each left vertex the matched right vertex or -1.
+std::vector<int> maximum_bipartite_matching(
+    int left_count, int right_count,
+    const std::vector<std::vector<int>>& adjacency);
+
+}  // namespace ear::flow

@@ -1,0 +1,234 @@
+#include "mapred/mapreduce.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "placement/replica_layout.h"
+
+namespace ear::mapred {
+
+MapReduceCluster::MapReduceCluster(sim::Engine& engine, sim::Network& network,
+                                   PlacementPolicy& policy,
+                                   const MapReduceConfig& config)
+    : engine_(&engine), network_(&network), policy_(&policy), config_(config),
+      rng_(config.seed) {
+  free_slots_.assign(
+      static_cast<size_t>(policy.topology().node_count()),
+      config.map_slots_per_node);
+}
+
+void MapReduceCluster::submit(const JobSpec& spec) {
+  const int job_index = static_cast<int>(jobs_.size());
+  Job job;
+  job.spec = spec;
+  job.result.id = spec.id;
+  job.result.submit_time = spec.submit_time;
+  jobs_.push_back(std::move(job));
+  engine_->schedule_at(spec.submit_time, [this, job_index] {
+    start_job(job_index);
+  });
+}
+
+void MapReduceCluster::start_job(int job_index) {
+  Job& job = jobs_[static_cast<size_t>(job_index)];
+  const Topology& topo = policy_->topology();
+
+  const int maps = std::max<int>(
+      1, static_cast<int>((job.spec.input_size + config_.block_size - 1) /
+                          config_.block_size));
+  job.maps_remaining = maps;
+  job.result.map_tasks = maps;
+  total_maps_ += maps;
+
+  // Input blocks were written to the CFS (with RR or EAR placement) before
+  // the run; register their replica locations now.
+  for (int t = 0; t < maps; ++t) {
+    const BlockPlacement placement =
+        policy_->place_block(next_block_id_++, std::nullopt);
+    pending_maps_.push_back(MapTask{
+        job_index, t,
+        placement.replicas,
+    });
+  }
+
+  // Reducers: random distinct nodes.
+  const auto picks = rng_.sample_without_replacement(
+      static_cast<size_t>(topo.node_count()),
+      static_cast<size_t>(std::min(config_.reducers_per_job,
+                                   topo.node_count())));
+  for (const size_t n : picks) {
+    job.reducers.push_back(static_cast<NodeId>(n));
+  }
+
+  try_dispatch();
+}
+
+void MapReduceCluster::try_dispatch() {
+  const Topology& topo = policy_->topology();
+  // Greedy locality-aware dispatch: for each pending task (FIFO), prefer a
+  // free slot on a node holding a replica, then a node in a replica's rack,
+  // then any free node.
+  bool progress = true;
+  while (progress && !pending_maps_.empty()) {
+    progress = false;
+    MapTask task = pending_maps_.front();
+
+    NodeId chosen = kInvalidNode;
+    int locality = 2;  // 0 = data-local, 1 = rack-local, 2 = remote
+    for (const NodeId n : task.input_replicas) {
+      if (free_slots_[static_cast<size_t>(n)] > 0) {
+        chosen = n;
+        locality = 0;
+        break;
+      }
+    }
+    if (chosen == kInvalidNode) {
+      for (const NodeId r : task.input_replicas) {
+        for (const NodeId n : topo.nodes_in_rack(topo.rack_of(r))) {
+          if (free_slots_[static_cast<size_t>(n)] > 0) {
+            chosen = n;
+            locality = 1;
+            break;
+          }
+        }
+        if (chosen != kInvalidNode) break;
+      }
+    }
+    if (chosen == kInvalidNode) {
+      // Any free slot, scanning from a random offset for balance.
+      const int nodes = topo.node_count();
+      const int start = static_cast<int>(rng_.uniform(
+          static_cast<uint64_t>(nodes)));
+      for (int off = 0; off < nodes; ++off) {
+        const NodeId n = (start + off) % nodes;
+        if (free_slots_[static_cast<size_t>(n)] > 0) {
+          chosen = n;
+          locality = 2;
+          break;
+        }
+      }
+    }
+    if (chosen == kInvalidNode) break;  // cluster fully busy
+
+    pending_maps_.pop_front();
+    progress = true;
+    --free_slots_[static_cast<size_t>(chosen)];
+    Job& job = jobs_[static_cast<size_t>(task.job_index)];
+    if (locality == 0) {
+      ++job.result.data_local_maps;
+    } else if (locality == 1) {
+      ++job.result.rack_local_maps;
+    } else {
+      ++job.result.remote_maps;
+    }
+    run_map(task, chosen);
+  }
+}
+
+void MapReduceCluster::run_map(const MapTask& task, NodeId node) {
+  // Fetch the input block if no local replica, then compute.
+  const bool local =
+      std::find(task.input_replicas.begin(), task.input_replicas.end(),
+                node) != task.input_replicas.end();
+  auto compute = [this, task, node] {
+    const Seconds compute_time = static_cast<double>(config_.block_size) /
+                                 config_.map_compute_rate;
+    engine_->schedule_in(compute_time,
+                         [this, task, node] { finish_map(task, node); });
+  };
+  if (local) {
+    compute();
+    return;
+  }
+  // Prefer a rack-local replica as the source.
+  NodeId src = task.input_replicas[rng_.index(task.input_replicas.size())];
+  for (const NodeId r : task.input_replicas) {
+    if (policy_->topology().same_rack(r, node)) {
+      src = r;
+      break;
+    }
+  }
+  network_->start_transfer(src, node, config_.block_size, compute);
+}
+
+void MapReduceCluster::finish_map(const MapTask& task, NodeId node) {
+  Job& job = jobs_[static_cast<size_t>(task.job_index)];
+
+  // Emit this map's shuffle share to every reducer.
+  if (job.spec.shuffle_size > 0 && !job.reducers.empty()) {
+    const Bytes per_map = job.spec.shuffle_size / job.result.map_tasks;
+    const Bytes per_flow =
+        std::max<Bytes>(1, per_map / static_cast<Bytes>(job.reducers.size()));
+    for (const NodeId reducer : job.reducers) {
+      ++job.shuffle_flows_remaining;
+      network_->start_transfer(node, reducer, per_flow,
+                               [this, job_index = task.job_index] {
+                                 Job& j = jobs_[static_cast<size_t>(job_index)];
+                                 --j.shuffle_flows_remaining;
+                                 maybe_start_reduce(job_index);
+                               });
+    }
+  }
+
+  ++free_slots_[static_cast<size_t>(node)];
+  --job.maps_remaining;
+  maybe_start_reduce(task.job_index);
+  try_dispatch();
+}
+
+void MapReduceCluster::maybe_start_reduce(int job_index) {
+  Job& job = jobs_[static_cast<size_t>(job_index)];
+  if (job.maps_remaining > 0 || job.shuffle_flows_remaining > 0 ||
+      job.shuffle_done) {
+    return;
+  }
+  job.shuffle_done = true;
+
+  // Reducers write the job output back to the CFS via the placement policy's
+  // replication pipeline.
+  const int output_blocks = static_cast<int>(
+      (job.spec.output_size + config_.block_size - 1) / config_.block_size);
+  if (output_blocks == 0) {
+    finish_job(job_index);
+    return;
+  }
+  job.output_blocks_remaining = output_blocks;
+  for (int b = 0; b < output_blocks; ++b) {
+    const NodeId writer =
+        job.reducers[static_cast<size_t>(b) % job.reducers.size()];
+    const BlockPlacement placement =
+        policy_->place_block(next_block_id_++, writer);
+    const auto& replicas = placement.replicas;
+    const int hops = static_cast<int>(replicas.size()) - 1;
+    if (hops <= 0) {
+      engine_->schedule_in(0.0, [this, job_index] {
+        if (--jobs_[static_cast<size_t>(job_index)].output_blocks_remaining ==
+            0) {
+          finish_job(job_index);
+        }
+      });
+      continue;
+    }
+    auto remaining = std::make_shared<int>(hops);
+    for (int h = 0; h < hops; ++h) {
+      network_->start_transfer(
+          replicas[static_cast<size_t>(h)],
+          replicas[static_cast<size_t>(h + 1)], config_.block_size,
+          [this, job_index, remaining] {
+            if (--*remaining > 0) return;
+            if (--jobs_[static_cast<size_t>(job_index)]
+                     .output_blocks_remaining == 0) {
+              finish_job(job_index);
+            }
+          });
+    }
+  }
+}
+
+void MapReduceCluster::finish_job(int job_index) {
+  Job& job = jobs_[static_cast<size_t>(job_index)];
+  job.result.finish_time = engine_->now();
+  results_.push_back(job.result);
+}
+
+}  // namespace ear::mapred

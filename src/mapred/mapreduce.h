@@ -1,0 +1,111 @@
+// MapReduce execution model on the discrete-event simulator (paper §IV-A,
+// Experiment A.3).
+//
+// Mirrors Hadoop 1.x structure: a JobTracker schedules map tasks onto
+// TaskTracker slots (a fixed number per node), preferring data-local nodes,
+// then rack-local, then any free slot — the locality optimization MapReduce
+// relies on and which EAR exploits for encoding jobs.  Reducers pull shuffle
+// data as maps finish and write job output back to the CFS through the
+// replica placement policy.
+//
+// The model is deliberately flow-level: map compute is a fixed rate over the
+// input block, all data movement (remote map input, shuffle, output
+// replication pipeline) goes through the shared Network, so jobs contend for
+// cross-rack bandwidth exactly like the paper's testbed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "placement/policy.h"
+#include "sim/network.h"
+
+namespace ear::mapred {
+
+struct JobSpec {
+  int id = 0;
+  Seconds submit_time = 0;
+  Bytes input_size = 0;
+  Bytes shuffle_size = 0;
+  Bytes output_size = 0;
+};
+
+struct JobResult {
+  int id = 0;
+  Seconds submit_time = 0;
+  Seconds finish_time = 0;
+  int map_tasks = 0;
+  int data_local_maps = 0;
+  int rack_local_maps = 0;
+  int remote_maps = 0;
+};
+
+struct MapReduceConfig {
+  int map_slots_per_node = 4;
+  int reducers_per_job = 2;
+  Bytes block_size = 64_MB;
+  // Map function processing rate over its input block.
+  BytesPerSec map_compute_rate = 400e6;
+  uint64_t seed = 1;
+};
+
+class MapReduceCluster {
+ public:
+  // `policy` supplies both the pre-existing input block locations and the
+  // output write placements.  The caller owns engine/network/policy.
+  MapReduceCluster(sim::Engine& engine, sim::Network& network,
+                   PlacementPolicy& policy, const MapReduceConfig& config);
+
+  // Submits a job at spec.submit_time (input blocks are placed immediately,
+  // modelling data written before the experiment starts).
+  void submit(const JobSpec& spec);
+
+  // Completed job results, in completion order.  Valid after the engine ran.
+  const std::vector<JobResult>& results() const { return results_; }
+
+  int64_t total_map_tasks() const { return total_maps_; }
+
+ private:
+  struct MapTask {
+    int job_index;
+    int task_index;
+    std::vector<NodeId> input_replicas;
+  };
+
+  struct Job {
+    JobSpec spec;
+    JobResult result;
+    std::vector<NodeId> reducers;
+    int maps_remaining = 0;
+    int shuffle_flows_remaining = 0;
+    int output_blocks_remaining = 0;
+    bool shuffle_done = false;
+  };
+
+  void start_job(int job_index);
+  void try_dispatch();
+  void run_map(const MapTask& task, NodeId node);
+  void finish_map(const MapTask& task, NodeId node);
+  void maybe_start_reduce(int job_index);
+  void finish_job(int job_index);
+
+  sim::Engine* engine_;
+  sim::Network* network_;
+  PlacementPolicy* policy_;
+  MapReduceConfig config_;
+  Rng rng_;
+
+  std::vector<Job> jobs_;
+  std::deque<MapTask> pending_maps_;
+  std::vector<int> free_slots_;  // per node
+  std::vector<JobResult> results_;
+  BlockId next_block_id_ = 1'000'000'000;  // avoid colliding with user blocks
+  int64_t total_maps_ = 0;
+};
+
+}  // namespace ear::mapred

@@ -1,0 +1,43 @@
+#include "mapred/swim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ear::mapred {
+
+std::vector<JobSpec> generate_swim_workload(const SwimConfig& config) {
+  Rng rng(config.seed);
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<size_t>(config.jobs));
+
+  Seconds t = 0;
+  for (int i = 0; i < config.jobs; ++i) {
+    t += rng.exponential(1.0 / config.arrival_rate);
+
+    const double raw_blocks =
+        rng.lognormal(config.input_blocks_mu, config.input_blocks_sigma);
+    const int input_blocks = std::clamp(
+        static_cast<int>(std::lround(raw_blocks)), 1,
+        config.max_input_blocks);
+
+    JobSpec spec;
+    spec.id = i;
+    spec.submit_time = t;
+    spec.input_size = static_cast<Bytes>(input_blocks) * config.block_size;
+    if (rng.bernoulli(config.map_only_fraction)) {
+      spec.shuffle_size = 0;
+      spec.output_size = static_cast<Bytes>(
+          static_cast<double>(spec.input_size) *
+          rng.uniform_double(0.05, 0.3));
+    } else {
+      spec.shuffle_size = static_cast<Bytes>(
+          static_cast<double>(spec.input_size) * rng.uniform_double(0.2, 1.0));
+      spec.output_size = static_cast<Bytes>(
+          static_cast<double>(spec.input_size) * rng.uniform_double(0.1, 0.8));
+    }
+    jobs.push_back(spec);
+  }
+  return jobs;
+}
+
+}  // namespace ear::mapred

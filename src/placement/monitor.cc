@@ -1,0 +1,122 @@
+#include "placement/monitor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace ear {
+
+FaultToleranceReport PlacementMonitor::analyze(
+    const StripeLayout& layout) const {
+  assert(static_cast<int>(layout.nodes.size()) == code_.n);
+  FaultToleranceReport report;
+
+  std::map<NodeId, int> per_node;
+  std::vector<int> per_rack(static_cast<size_t>(topo_->rack_count()), 0);
+  for (const NodeId n : layout.nodes) {
+    ++per_node[n];
+    ++per_rack[static_cast<size_t>(topo_->rack_of(n))];
+  }
+  for (const auto& [node, count] : per_node) {
+    (void)node;
+    report.max_blocks_per_node = std::max(report.max_blocks_per_node, count);
+  }
+  report.max_blocks_per_rack =
+      *std::max_element(per_rack.begin(), per_rack.end());
+
+  // Worst-case failures remove the most loaded racks/nodes first; the stripe
+  // survives while >= k blocks remain.
+  const int m = code_.m();
+  std::vector<int> rack_loads;
+  for (const int load : per_rack) {
+    if (load > 0) rack_loads.push_back(load);
+  }
+  std::sort(rack_loads.rbegin(), rack_loads.rend());
+  int lost = 0;
+  int rack_failures = 0;
+  for (const int load : rack_loads) {
+    lost += load;
+    if (lost > m) break;
+    ++rack_failures;
+  }
+  report.tolerable_rack_failures = rack_failures;
+
+  std::vector<int> node_loads;
+  node_loads.reserve(per_node.size());
+  for (const auto& [node, count] : per_node) {
+    (void)node;
+    node_loads.push_back(count);
+  }
+  std::sort(node_loads.rbegin(), node_loads.rend());
+  lost = 0;
+  int node_failures = 0;
+  for (const int load : node_loads) {
+    lost += load;
+    if (lost > m) break;
+    ++node_failures;
+  }
+  report.tolerable_node_failures = node_failures;
+  return report;
+}
+
+std::vector<Relocation> PlacementMonitor::plan_relocations(
+    const StripeLayout& layout, int c) const {
+  assert(c >= 1);
+  std::vector<Relocation> moves;
+
+  std::vector<int> per_rack(static_cast<size_t>(topo_->rack_count()), 0);
+  std::vector<int> node_load(static_cast<size_t>(topo_->node_count()), 0);
+  for (const NodeId n : layout.nodes) {
+    ++node_load[static_cast<size_t>(n)];
+    ++per_rack[static_cast<size_t>(topo_->rack_of(n))];
+  }
+
+  // Block indices that must move: extras beyond c in their rack, or blocks
+  // doubled up on a node.  Walk blocks in stripe order and evict the later
+  // ones.
+  std::vector<int> rack_kept(static_cast<size_t>(topo_->rack_count()), 0);
+  std::vector<bool> node_kept(static_cast<size_t>(topo_->node_count()), false);
+  std::vector<int> to_move;
+  for (size_t i = 0; i < layout.nodes.size(); ++i) {
+    const NodeId n = layout.nodes[i];
+    const RackId r = topo_->rack_of(n);
+    if (node_kept[static_cast<size_t>(n)] ||
+        rack_kept[static_cast<size_t>(r)] >= c) {
+      to_move.push_back(static_cast<int>(i));
+    } else {
+      node_kept[static_cast<size_t>(n)] = true;
+      ++rack_kept[static_cast<size_t>(r)];
+    }
+  }
+
+  // Destination selection: least-loaded racks with capacity, first free node.
+  for (const int idx : to_move) {
+    RackId best_rack = kInvalidRack;
+    for (RackId r = 0; r < topo_->rack_count(); ++r) {
+      if (rack_kept[static_cast<size_t>(r)] >= c) continue;
+      if (best_rack == kInvalidRack ||
+          rack_kept[static_cast<size_t>(r)] <
+              rack_kept[static_cast<size_t>(best_rack)]) {
+        best_rack = r;
+      }
+    }
+    if (best_rack == kInvalidRack) return moves;  // infeasible (c too small)
+
+    NodeId dest = kInvalidNode;
+    for (const NodeId n : topo_->nodes_in_rack(best_rack)) {
+      if (!node_kept[static_cast<size_t>(n)]) {
+        dest = n;
+        break;
+      }
+    }
+    if (dest == kInvalidNode) return moves;
+
+    moves.push_back(Relocation{idx, layout.nodes[static_cast<size_t>(idx)],
+                               dest});
+    node_kept[static_cast<size_t>(dest)] = true;
+    ++rack_kept[static_cast<size_t>(best_rack)];
+  }
+  return moves;
+}
+
+}  // namespace ear

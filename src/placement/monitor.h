@@ -1,0 +1,67 @@
+// PlacementMonitor + BlockMover (paper §II-B, §IV-A).
+//
+// Facebook's HDFS periodically checks every encoded stripe against the
+// rack-level fault-tolerance requirement (PlacementMonitor) and relocates
+// blocks when it is violated (BlockMover).  EAR produces layouts that pass
+// the check by construction; RR does not, which is the availability problem
+// the paper measures (Figure 3 for the preliminary design, and the
+// relocation traffic ablation for full RR).
+#pragma once
+
+#include <vector>
+
+#include "placement/types.h"
+#include "topology/topology.h"
+
+namespace ear {
+
+// Post-encode layout of one stripe: node of every block, data first then
+// parity (size n).
+struct StripeLayout {
+  std::vector<NodeId> nodes;
+};
+
+struct FaultToleranceReport {
+  int max_blocks_per_node = 0;
+  int max_blocks_per_rack = 0;
+  // Rack failures the stripe survives: the worst f racks removed still leave
+  // >= k blocks.
+  int tolerable_rack_failures = 0;
+  // Node failures survived (n - k if all blocks are on distinct nodes).
+  int tolerable_node_failures = 0;
+
+  bool rack_safe(int required_rack_failures) const {
+    return tolerable_rack_failures >= required_rack_failures;
+  }
+};
+
+// One relocation decided by the BlockMover: move the block at stripe
+// position `block_index` from `from` to `to`.
+struct Relocation {
+  int block_index = -1;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+};
+
+class PlacementMonitor {
+ public:
+  PlacementMonitor(const Topology& topo, CodeParams code)
+      : topo_(&topo), code_(code) {}
+
+  // Evaluates node- and rack-level fault tolerance of a stripe layout.
+  FaultToleranceReport analyze(const StripeLayout& layout) const;
+
+  // Plans the minimum set of relocations that brings the stripe to at most
+  // `c` blocks per rack (and one block per node), i.e. tolerance of
+  // floor((n-k)/c) rack failures.  Greedy: blocks are moved out of the most
+  // loaded racks into the least loaded racks with free nodes.  Returns an
+  // empty vector when the layout already complies.
+  std::vector<Relocation> plan_relocations(const StripeLayout& layout,
+                                           int c) const;
+
+ private:
+  const Topology* topo_;
+  CodeParams code_;
+};
+
+}  // namespace ear

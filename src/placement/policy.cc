@@ -1,0 +1,23 @@
+#include "placement/policy.h"
+
+namespace ear {
+
+int PlacementPolicy::count_cross_rack_downloads(
+    const Topology& topo, NodeId encoder,
+    const std::vector<std::vector<NodeId>>& replicas) {
+  const RackId encoder_rack = topo.rack_of(encoder);
+  int cross = 0;
+  for (const auto& nodes : replicas) {
+    bool local = false;
+    for (const NodeId n : nodes) {
+      if (topo.rack_of(n) == encoder_rack) {
+        local = true;
+        break;
+      }
+    }
+    if (!local) ++cross;
+  }
+  return cross;
+}
+
+}  // namespace ear

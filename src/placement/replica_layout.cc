@@ -1,0 +1,68 @@
+#include "placement/replica_layout.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ear {
+
+NodeId random_node_in_rack(const Topology& topo, RackId rack, Rng& rng) {
+  return topo.rack_first_node(rack) +
+         static_cast<NodeId>(rng.uniform(
+             static_cast<uint64_t>(topo.rack_size(rack))));
+}
+
+NodeId random_node(const Topology& topo, Rng& rng) {
+  return static_cast<NodeId>(
+      rng.uniform(static_cast<uint64_t>(topo.node_count())));
+}
+
+std::vector<NodeId> draw_secondary_replicas(
+    const Topology& topo, const PlacementConfig& config, NodeId first_replica,
+    Rng& rng, const std::vector<RackId>* allowed_racks) {
+  const int r = config.replication;
+  assert(r >= 1);
+  std::vector<NodeId> replicas{first_replica};
+  if (r == 1) return replicas;
+
+  const RackId first_rack = topo.rack_of(first_replica);
+  const auto draw_rack = [&]() -> RackId {
+    if (allowed_racks != nullptr && !allowed_racks->empty()) {
+      return (*allowed_racks)[rng.index(allowed_racks->size())];
+    }
+    return static_cast<RackId>(
+        rng.uniform(static_cast<uint64_t>(topo.rack_count())));
+  };
+
+  if (config.one_replica_per_rack) {
+    // Figure 13(f) variant: every replica in its own rack.
+    assert(topo.rack_count() >= r);
+    std::vector<RackId> used{first_rack};
+    while (static_cast<int>(replicas.size()) < r) {
+      const RackId rack = draw_rack();
+      if (std::find(used.begin(), used.end(), rack) != used.end()) continue;
+      used.push_back(rack);
+      replicas.push_back(random_node_in_rack(topo, rack, rng));
+    }
+    return replicas;
+  }
+
+  // HDFS default (§II-A): replicas 2..r on r-1 distinct nodes of a single
+  // rack different from the first replica's rack.
+  assert(topo.rack_count() >= 2);
+  RackId second_rack;
+  do {
+    second_rack = draw_rack();
+  } while (second_rack == first_rack);
+  assert(topo.rack_size(second_rack) >= r - 1);
+
+  const auto picks = rng.sample_without_replacement(
+      static_cast<size_t>(topo.rack_size(second_rack)),
+      static_cast<size_t>(r - 1));
+  for (const size_t offset : picks) {
+    replicas.push_back(topo.rack_first_node(second_rack) +
+                       static_cast<NodeId>(offset));
+  }
+  return replicas;
+}
+
+}  // namespace ear

@@ -1,0 +1,34 @@
+// Shared replica-layout primitives used by both RR and EAR.
+//
+// Both policies draw the same *shape* of layout (HDFS default: replicas 2..r
+// on distinct nodes of one rack different from the first replica's rack, or
+// the one-replica-per-rack variant); they differ only in how the first
+// replica's rack is chosen and whether a layout may be rejected.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "placement/types.h"
+#include "topology/topology.h"
+
+namespace ear {
+
+// Draws the replica node list for one block given the (already chosen) node
+// of the first replica.  Honors config.one_replica_per_rack.  The returned
+// vector has config.replication entries, all distinct nodes, and — in HDFS
+// default mode — replicas 2..r share one rack that differs from the first
+// replica's rack.  When `allowed_racks` is non-null, secondary racks are
+// drawn from it (EAR's §III-D target racks: every replica of the stripe
+// lives in the target racks).
+std::vector<NodeId> draw_secondary_replicas(
+    const Topology& topo, const PlacementConfig& config, NodeId first_replica,
+    Rng& rng, const std::vector<RackId>* allowed_racks = nullptr);
+
+// Picks a uniformly random node of the given rack.
+NodeId random_node_in_rack(const Topology& topo, RackId rack, Rng& rng);
+
+// Picks a uniformly random node of the cluster.
+NodeId random_node(const Topology& topo, Rng& rng);
+
+}  // namespace ear

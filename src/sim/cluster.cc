@@ -1,0 +1,291 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "placement/ear.h"
+#include "placement/monitor.h"
+#include "placement/replica_layout.h"
+
+namespace ear::sim {
+
+// One of the `encode_processes` parallel encoding workers.  Each worker
+// pulls the next un-encoded stripe from the shared queue and simulates the
+// three-step encoding operation of §II-A: download k data blocks, upload
+// n - k parity blocks, delete redundant replicas (free).
+struct ClusterSim::EncodeProcess {
+  int id = 0;
+  size_t stripe_index = 0;  // index into stripes_/plans_ being worked on
+  int pending_transfers = 0;
+  enum class Phase { kIdle, kDownload, kUpload, kRelocate } phase = Phase::kIdle;
+};
+
+ClusterSim::ClusterSim(const SimConfig& config)
+    : config_(config),
+      topo_(config.racks, config.nodes_per_rack),
+      engine_(),
+      network_(engine_, topo_, config.net),
+      policy_(config.use_ear
+                  ? make_encoding_aware_replication(topo_, config.placement,
+                                                    config.seed)
+                  : make_random_replication(topo_, config.placement,
+                                            config.seed)),
+      rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+ClusterSim::~ClusterSim() = default;
+
+SimResult ClusterSim::run() {
+  // ---- Pre-place the stripes to be encoded (they were written long before
+  // the simulated window; their write traffic is not part of the run).
+  const int target_stripes =
+      config_.encode_processes * config_.stripes_per_process;
+  while (static_cast<int>(policy_->sealed_stripes().size()) < target_stripes) {
+    const NodeId writer = random_node(topo_, rng_);
+    policy_->place_block(next_block_id_++, writer);
+  }
+  stripes_ = policy_->sealed_stripes();
+  stripes_.resize(static_cast<size_t>(target_stripes));
+  plans_.reserve(stripes_.size());
+  for (const StripeId id : stripes_) {
+    plans_.push_back(policy_->plan_encoding(id));
+  }
+
+  // ---- Traffic generators.
+  if (config_.write_rate > 0) schedule_next_write();
+  if (config_.background_rate > 0) schedule_next_background();
+
+  // ---- Encoding fleet starts at encode_start.
+  engine_.schedule_at(config_.encode_start, [this] {
+    result_.encode_begin = engine_.now();
+    for (int p = 0; p < config_.encode_processes; ++p) {
+      auto proc = std::make_unique<EncodeProcess>();
+      proc->id = p;
+      processes_.push_back(std::move(proc));
+    }
+    processes_running_ = config_.encode_processes;
+    for (auto& proc : processes_) start_stripe(*proc);
+  });
+
+  engine_.run();
+
+  // ---- Final metrics.
+  result_.stripes_encoded = static_cast<int>(stripes_.size());
+  const Seconds encode_time = result_.encode_end - result_.encode_begin;
+  if (encode_time > 0) {
+    const double encoded_mb =
+        to_mb(config_.block_size) * config_.placement.code.k *
+        static_cast<double>(stripes_.size());
+    result_.encode_throughput_mbps = encoded_mb / encode_time;
+    result_.write_throughput_mbps /= encode_time;  // accumulated MB -> MB/s
+  }
+  result_.cross_rack_bytes = network_.cross_rack_bytes();
+  result_.intra_rack_bytes = network_.intra_rack_bytes();
+  if (const auto* ear_policy =
+          dynamic_cast<const EncodingAwareReplication*>(policy_.get())) {
+    result_.mean_layout_iterations =
+        static_cast<double>(ear_policy->total_layout_iterations()) /
+        static_cast<double>(ear_policy->total_blocks_placed());
+  }
+  return result_;
+}
+
+// --------------------------------------------------------------- writes
+
+void ClusterSim::schedule_next_write() {
+  engine_.schedule_in(rng_.exponential(1.0 / config_.write_rate),
+                      [this] { generate_write(); });
+}
+
+void ClusterSim::generate_write() {
+  if (generators_stopped_) return;
+  schedule_next_write();
+
+  const NodeId writer = random_node(topo_, rng_);
+  const BlockPlacement placement =
+      policy_->place_block(next_block_id_++, writer);
+  const Seconds issued = engine_.now();
+
+  // HDFS write pipeline: writer -> replica2 -> replica3 -> ...  The hops
+  // stream concurrently; the request completes when every hop has delivered
+  // the full block.
+  const auto& replicas = placement.replicas;
+  const int hops = static_cast<int>(replicas.size()) - 1;
+  auto complete = [this, issued] {
+    const Seconds response = engine_.now() - issued;
+    ++result_.writes_completed;
+    if (issued < config_.encode_start) {
+      result_.write_response_before.add(response);
+    } else {
+      result_.write_response_during.add(response);
+    }
+    if (engine_.now() >= config_.encode_start && !encoding_done_) {
+      // Accumulate MB completed during the encoding window; converted to
+      // MB/s at the end of run().
+      result_.write_throughput_mbps += to_mb(config_.block_size);
+    }
+  };
+  if (hops <= 0) {
+    engine_.schedule_in(0.0, complete);
+    return;
+  }
+  auto remaining = std::make_shared<int>(hops);
+  for (int h = 0; h < hops; ++h) {
+    network_.start_transfer(replicas[static_cast<size_t>(h)],
+                            replicas[static_cast<size_t>(h + 1)],
+                            config_.block_size, [remaining, complete] {
+                              if (--*remaining == 0) complete();
+                            });
+  }
+}
+
+// ----------------------------------------------------------- background
+
+void ClusterSim::schedule_next_background() {
+  engine_.schedule_in(rng_.exponential(1.0 / config_.background_rate),
+                      [this] { generate_background(); });
+}
+
+void ClusterSim::generate_background() {
+  if (generators_stopped_) return;
+  schedule_next_background();
+
+  const NodeId src = random_node(topo_, rng_);
+  NodeId dst;
+  if (rng_.bernoulli(config_.background_cross_fraction)) {
+    do {
+      dst = random_node(topo_, rng_);
+    } while (topo_.same_rack(src, dst));
+  } else {
+    do {
+      dst = random_node_in_rack(topo_, topo_.rack_of(src), rng_);
+    } while (dst == src && topo_.rack_size(topo_.rack_of(src)) > 1);
+  }
+  const auto size = static_cast<Bytes>(std::max(
+      1.0, rng_.exponential(static_cast<double>(config_.background_mean_size))));
+  network_.start_transfer(src, dst, size, [] {});
+}
+
+// -------------------------------------------------------------- encoding
+
+void ClusterSim::start_stripe(EncodeProcess& proc) {
+  if (next_stripe_index_ >= stripes_.size()) {
+    proc.phase = EncodeProcess::Phase::kIdle;
+    if (--processes_running_ == 0) on_all_encoding_done();
+    return;
+  }
+  proc.stripe_index = next_stripe_index_++;
+  proc.phase = EncodeProcess::Phase::kDownload;
+
+  const StripeInfo& stripe = policy_->stripe(stripes_[proc.stripe_index]);
+  const EncodePlan& plan = plans_[proc.stripe_index];
+
+  // Step (i): download one replica of each of the k data blocks, preferring
+  // a local copy, then a same-rack copy, then any replica.
+  proc.pending_transfers = 0;
+  const RackId encoder_rack = topo_.rack_of(plan.encoder);
+  for (const auto& replicas : stripe.replicas) {
+    NodeId src = kInvalidNode;
+    for (const NodeId r : replicas) {
+      if (r == plan.encoder) {
+        src = r;
+        break;
+      }
+    }
+    if (src == kInvalidNode) {
+      std::vector<NodeId> same_rack;
+      for (const NodeId r : replicas) {
+        if (topo_.rack_of(r) == encoder_rack) same_rack.push_back(r);
+      }
+      if (!same_rack.empty()) {
+        src = same_rack[rng_.index(same_rack.size())];
+      } else {
+        src = replicas[rng_.index(replicas.size())];
+        ++result_.encoding_cross_rack_downloads;
+      }
+    }
+    ++proc.pending_transfers;
+    auto on_done = [this, &proc] {
+      if (--proc.pending_transfers == 0) finish_stripe(proc);
+    };
+    if (src == plan.encoder) {
+      // Local read: charged to the node's disk (free unless disk_bw set).
+      network_.start_disk_read(src, config_.block_size, std::move(on_done));
+    } else {
+      network_.start_transfer(src, plan.encoder, config_.block_size,
+                              std::move(on_done));
+    }
+  }
+  if (proc.pending_transfers == 0) {
+    engine_.schedule_in(0.0, [this, &proc] { finish_stripe(proc); });
+  }
+}
+
+void ClusterSim::finish_stripe(EncodeProcess& proc) {
+  const EncodePlan& plan = plans_[proc.stripe_index];
+
+  if (proc.phase == EncodeProcess::Phase::kDownload) {
+    // Step (ii): parity computation, then upload of the n - k parity
+    // blocks.
+    proc.phase = EncodeProcess::Phase::kUpload;
+    auto begin_uploads = [this, &proc, &plan] {
+      proc.pending_transfers = 0;
+      for (const NodeId dst : plan.parity) {
+        if (dst == plan.encoder) continue;
+        ++proc.pending_transfers;
+        network_.start_transfer(plan.encoder, dst, config_.block_size,
+                                [this, &proc] {
+                                  if (--proc.pending_transfers == 0) {
+                                    finish_stripe(proc);
+                                  }
+                                });
+      }
+      if (proc.pending_transfers == 0) {
+        engine_.schedule_in(0.0, [this, &proc] { finish_stripe(proc); });
+      }
+    };
+    engine_.schedule_in(config_.encode_compute_seconds, begin_uploads);
+    return;
+  }
+
+  if (proc.phase == EncodeProcess::Phase::kUpload &&
+      config_.simulate_relocation) {
+    // Ablation: PlacementMonitor check + BlockMover traffic (RR pays; EAR's
+    // layouts comply by construction so the plan is empty).
+    StripeLayout layout;
+    layout.nodes = plan.kept;
+    layout.nodes.insert(layout.nodes.end(), plan.parity.begin(),
+                        plan.parity.end());
+    const PlacementMonitor monitor(topo_, config_.placement.code);
+    const auto moves = monitor.plan_relocations(layout, config_.placement.c);
+    if (!moves.empty()) {
+      proc.phase = EncodeProcess::Phase::kRelocate;
+      proc.pending_transfers = static_cast<int>(moves.size());
+      result_.relocations += static_cast<int64_t>(moves.size());
+      result_.relocation_bytes +=
+          static_cast<int64_t>(moves.size()) * config_.block_size;
+      for (const auto& mv : moves) {
+        network_.start_transfer(mv.from, mv.to, config_.block_size,
+                                [this, &proc] {
+                                  if (--proc.pending_transfers == 0) {
+                                    finish_stripe(proc);
+                                  }
+                                });
+      }
+      return;
+    }
+  }
+
+  // Step (iii): replica deletion is metadata-only.  Record completion.
+  result_.stripe_completions.emplace_back(
+      engine_.now(),
+      static_cast<int>(result_.stripe_completions.size()) + 1);
+  start_stripe(proc);
+}
+
+void ClusterSim::on_all_encoding_done() {
+  encoding_done_ = true;
+  generators_stopped_ = true;
+  result_.encode_end = engine_.now();
+}
+
+}  // namespace ear::sim

@@ -1,0 +1,55 @@
+#include "sim/engine.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ear::sim {
+
+EventId Engine::schedule_at(Seconds t, Callback cb) {
+  assert(t >= now_ - 1e-12 && "cannot schedule in the past");
+  if (t < now_) t = now_;
+  const Key key{t, next_seq_++};
+  const EventId id = key.seq;  // seq doubles as the event id (never 0)
+  calendar_.emplace(key, id);
+  pending_.emplace(id, std::make_pair(key, std::move(cb)));
+  return id;
+}
+
+bool Engine::step() {
+  while (!calendar_.empty()) {
+    const auto it = calendar_.begin();
+    const Key key = it->first;
+    const EventId id = it->second;
+    calendar_.erase(it);
+    const auto pending_it = pending_.find(id);
+    if (pending_it == pending_.end()) continue;  // cancelled
+    Callback cb = std::move(pending_it->second.second);
+    pending_.erase(pending_it);
+    now_ = key.time;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(Seconds t) {
+  while (!calendar_.empty()) {
+    // Skip over cancelled entries at the head.
+    const auto it = calendar_.begin();
+    if (pending_.find(it->second) == pending_.end()) {
+      calendar_.erase(it);
+      continue;
+    }
+    if (it->first.time > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+}  // namespace ear::sim

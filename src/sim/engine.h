@@ -1,0 +1,69 @@
+// Discrete-event simulation engine (our replacement for CSIM 20, §V-B).
+//
+// A minimal calendar: events are (time, callback) pairs executed in
+// non-decreasing time order; ties break by insertion order so runs are
+// deterministic.  Components schedule follow-up events from inside
+// callbacks.  Events can be cancelled (used by the network model, which
+// reschedules the next-completion event whenever the flow set changes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+
+#include "common/units.h"
+
+namespace ear::sim {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Seconds now() const { return now_; }
+
+  // Schedules `cb` at absolute simulated time `t` (>= now).
+  EventId schedule_at(Seconds t, Callback cb);
+
+  // Schedules `cb` after `dt` simulated seconds.
+  EventId schedule_in(Seconds dt, Callback cb) {
+    return schedule_at(now_ + dt, std::move(cb));
+  }
+
+  // Cancels a pending event; a no-op if it already ran or was cancelled.
+  void cancel(EventId id) { pending_.erase(id); }
+
+  bool has_pending() const { return !pending_.empty(); }
+  size_t pending_count() const { return pending_.size(); }
+
+  // Executes the next event.  Returns false when the calendar is empty.
+  bool step();
+
+  // Runs until the calendar empties.
+  void run();
+
+  // Runs while events exist with time <= t, then sets now() = t.
+  void run_until(Seconds t);
+
+  uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Key {
+    Seconds time;
+    uint64_t seq;
+    bool operator<(const Key& o) const {
+      return time != o.time ? time < o.time : seq < o.seq;
+    }
+  };
+
+  Seconds now_ = 0.0;
+  uint64_t next_seq_ = 1;
+  uint64_t executed_ = 0;
+  std::map<Key, EventId> calendar_;
+  std::map<EventId, std::pair<Key, Callback>> pending_;
+};
+
+}  // namespace ear::sim

@@ -1,0 +1,75 @@
+#include "sim/metrics.h"
+
+#include <cstdio>
+
+namespace ear::sim {
+
+namespace {
+
+class File {
+ public:
+  explicit File(const std::string& path)
+      : handle_(std::fopen(path.c_str(), "w")) {}
+  ~File() {
+    if (handle_) std::fclose(handle_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  bool ok() const { return handle_ != nullptr; }
+  std::FILE* get() { return handle_; }
+
+ private:
+  std::FILE* handle_;
+};
+
+}  // namespace
+
+bool write_stripe_completion_csv(const SimResult& result,
+                                 const std::string& path) {
+  File f(path);
+  if (!f.ok()) return false;
+  std::fprintf(f.get(), "time_s,stripes_encoded\n");
+  for (const auto& [t, count] : result.stripe_completions) {
+    std::fprintf(f.get(), "%.6f,%d\n", t, count);
+  }
+  return true;
+}
+
+bool write_response_times_csv(const SimResult& result,
+                              const std::string& path) {
+  File f(path);
+  if (!f.ok()) return false;
+  std::fprintf(f.get(), "phase,response_s\n");
+  for (const double r : result.write_response_before.samples()) {
+    std::fprintf(f.get(), "before,%.6f\n", r);
+  }
+  for (const double r : result.write_response_during.samples()) {
+    std::fprintf(f.get(), "during,%.6f\n", r);
+  }
+  return true;
+}
+
+std::string summarize(const SimResult& result) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "stripes=%d encode_s=%.3f encode_mbps=%.2f write_mbps=%.2f "
+      "write_before_s=%.4f write_during_s=%.4f cross_gb=%.3f "
+      "xdl=%lld relocations=%lld draws=%.3f",
+      result.stripes_encoded, result.encode_end - result.encode_begin,
+      result.encode_throughput_mbps, result.write_throughput_mbps,
+      result.write_response_before.empty()
+          ? 0.0
+          : result.write_response_before.mean(),
+      result.write_response_during.empty()
+          ? 0.0
+          : result.write_response_during.mean(),
+      result.cross_rack_bytes / 1e9,
+      static_cast<long long>(result.encoding_cross_rack_downloads),
+      static_cast<long long>(result.relocations),
+      result.mean_layout_iterations);
+  return buf;
+}
+
+}  // namespace ear::sim

@@ -1,0 +1,24 @@
+// Export helpers for simulation results: CSV series suitable for gnuplot /
+// matplotlib, so every figure of the paper can be re-plotted from raw runs.
+#pragma once
+
+#include <string>
+
+#include "sim/cluster.h"
+
+namespace ear::sim {
+
+// Writes the (time, cumulative stripes encoded) curve — Figure 12's series.
+// Returns false on I/O failure.
+bool write_stripe_completion_csv(const SimResult& result,
+                                 const std::string& path);
+
+// Writes per-request write response times as (issue_window, response_s)
+// rows, split into before/during encoding.
+bool write_response_times_csv(const SimResult& result,
+                              const std::string& path);
+
+// One-line machine-readable summary (key=value pairs) for sweep scripts.
+std::string summarize(const SimResult& result);
+
+}  // namespace ear::sim

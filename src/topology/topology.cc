@@ -1,0 +1,38 @@
+#include "topology/topology.h"
+
+#include <numeric>
+
+namespace ear {
+
+Topology::Topology(int racks, int nodes_per_rack)
+    : Topology(std::vector<int>(static_cast<size_t>(racks), nodes_per_rack)) {
+  assert(racks > 0 && nodes_per_rack > 0);
+}
+
+Topology::Topology(const std::vector<int>& rack_sizes) {
+  assert(!rack_sizes.empty());
+  rack_first_node_.reserve(rack_sizes.size());
+  rack_node_count_ = rack_sizes;
+  NodeId next = 0;
+  for (const int size : rack_sizes) {
+    assert(size > 0);
+    rack_first_node_.push_back(next);
+    for (int i = 0; i < size; ++i) {
+      node_rack_.push_back(static_cast<RackId>(rack_first_node_.size()) - 1);
+    }
+    next += size;
+  }
+}
+
+std::vector<NodeId> Topology::nodes_in_rack(RackId rack) const {
+  std::vector<NodeId> out(static_cast<size_t>(rack_size(rack)));
+  std::iota(out.begin(), out.end(), rack_first_node(rack));
+  return out;
+}
+
+std::string Topology::describe() const {
+  return std::to_string(rack_count()) + " racks / " +
+         std::to_string(node_count()) + " nodes";
+}
+
+}  // namespace ear

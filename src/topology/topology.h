@@ -1,0 +1,61 @@
+// CFS cluster topology: nodes grouped into racks (paper §II-A, Figure 1).
+//
+// Nodes within a rack share a top-of-rack switch; racks are joined by a
+// network core.  Node ids are dense ints [0, node_count); rack ids are dense
+// ints [0, rack_count).  The default layout is homogeneous (equal nodes per
+// rack) but heterogeneous rack sizes are supported for failure tests.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace ear {
+
+using NodeId = int;
+using RackId = int;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr RackId kInvalidRack = -1;
+
+class Topology {
+ public:
+  // Homogeneous topology: `racks` racks of `nodes_per_rack` nodes each.
+  Topology(int racks, int nodes_per_rack);
+
+  // Heterogeneous topology: rack_sizes[i] nodes in rack i.
+  explicit Topology(const std::vector<int>& rack_sizes);
+
+  int rack_count() const { return static_cast<int>(rack_first_node_.size()); }
+  int node_count() const { return node_rack_.empty() ? 0 : static_cast<int>(node_rack_.size()); }
+
+  RackId rack_of(NodeId node) const {
+    assert(node >= 0 && node < node_count());
+    return node_rack_[static_cast<size_t>(node)];
+  }
+
+  int rack_size(RackId rack) const {
+    assert(rack >= 0 && rack < rack_count());
+    return rack_node_count_[static_cast<size_t>(rack)];
+  }
+
+  // Nodes of a rack are the contiguous id range
+  // [rack_first_node(r), rack_first_node(r) + rack_size(r)).
+  NodeId rack_first_node(RackId rack) const {
+    assert(rack >= 0 && rack < rack_count());
+    return rack_first_node_[static_cast<size_t>(rack)];
+  }
+
+  std::vector<NodeId> nodes_in_rack(RackId rack) const;
+
+  bool same_rack(NodeId a, NodeId b) const { return rack_of(a) == rack_of(b); }
+
+  std::string describe() const;
+
+ private:
+  std::vector<RackId> node_rack_;        // node -> rack
+  std::vector<NodeId> rack_first_node_;  // rack -> first node id
+  std::vector<int> rack_node_count_;     // rack -> size
+};
+
+}  // namespace ear

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "analysis/availability.h"
+#include "analysis/balance.h"
+
+namespace ear::analysis {
+namespace {
+
+TEST(Availability, Equation1MatchesPaperAnchors) {
+  // Figure 3 anchor quoted in §III-A: f ~= 0.97 for k = 12, R = 16.
+  EXPECT_NEAR(preliminary_violation_probability(16, 12), 0.97, 0.015);
+  // Small cases computed by hand:
+  //  R = 3, k = 2: secondaries land in one of 2 racks; span >= 1 always ->
+  //  never violates.
+  EXPECT_DOUBLE_EQ(preliminary_violation_probability(3, 2), 0.0);
+  //  R = 3, k = 3: 2 non-core racks, 3 blocks; distinct <= 2 always, need
+  //  >= 2: violation iff all three in the same rack: 2/8.
+  EXPECT_NEAR(preliminary_violation_probability(3, 3), 0.25, 1e-12);
+}
+
+TEST(Availability, Equation1MonotoneDecreasingInRacks) {
+  for (const int k : {6, 8, 10, 12}) {
+    double prev = 1.1;
+    for (int r = k + 1; r <= 60; r += 3) {
+      const double f = preliminary_violation_probability(r, k);
+      EXPECT_LE(f, prev + 1e-12) << "k=" << k << " R=" << r;
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0);
+      prev = f;
+    }
+  }
+}
+
+TEST(Availability, Equation1IncreasesWithK) {
+  const int r = 30;
+  EXPECT_LT(preliminary_violation_probability(r, 6),
+            preliminary_violation_probability(r, 8));
+  EXPECT_LT(preliminary_violation_probability(r, 8),
+            preliminary_violation_probability(r, 10));
+  EXPECT_LT(preliminary_violation_probability(r, 10),
+            preliminary_violation_probability(r, 12));
+}
+
+TEST(Availability, MonteCarloAgreesWithClosedForm) {
+  for (const int r : {10, 16, 24, 40}) {
+    for (const int k : {6, 10, 12}) {
+      const double closed = preliminary_violation_probability(r, k);
+      const double mc =
+          preliminary_violation_probability_mc(r, k, 200000, 7);
+      EXPECT_NEAR(mc, closed, 0.01) << "R=" << r << " k=" << k;
+    }
+  }
+}
+
+TEST(Availability, Theorem1BoundMatchesPaperRemark) {
+  // §III-C remark: R = 20, c = 1 -> E_k <= 1.9 for k = 10.
+  EXPECT_NEAR(theorem1_iteration_bound(20, 10, 1), 19.0 / 10.0, 1e-12);
+  // First block always succeeds immediately.
+  EXPECT_DOUBLE_EQ(theorem1_iteration_bound(20, 1, 1), 1.0);
+  // Larger c shrinks the bound (fewer racks fill up).
+  EXPECT_LT(theorem1_iteration_bound(20, 10, 2),
+            theorem1_iteration_bound(20, 10, 1));
+}
+
+TEST(Availability, CrossRackRepairTraffic) {
+  EXPECT_EQ(cross_rack_repair_blocks(10, 1), 9);   // paper: k-1 for c=1
+  EXPECT_EQ(cross_rack_repair_blocks(10, 3), 7);
+  EXPECT_EQ(cross_rack_repair_blocks(3, 3), 0);
+  EXPECT_EQ(cross_rack_repair_blocks(3, 5), 0);
+}
+
+TEST(Balance, StorageSharesAreNearUniformForBothPolicies) {
+  // Figure 14: with R = 20 racks the shares sit between ~4.9% and ~5.1%.
+  for (const bool use_ear : {false, true}) {
+    BalanceConfig cfg;
+    cfg.use_ear = use_ear;
+    const auto shares = storage_share_by_rack(cfg, /*blocks=*/10000,
+                                              /*runs=*/10);
+    ASSERT_EQ(shares.size(), 20u);
+    double total = 0;
+    for (const double s : shares) total += s;
+    EXPECT_NEAR(total, 100.0, 1e-9);
+    EXPECT_LT(shares.front(), 5.4) << (use_ear ? "EAR" : "RR");
+    EXPECT_GT(shares.back(), 4.6) << (use_ear ? "EAR" : "RR");
+    // Ranked shares must be non-increasing.
+    for (size_t i = 1; i < shares.size(); ++i) {
+      EXPECT_LE(shares[i], shares[i - 1] + 1e-12);
+    }
+  }
+}
+
+TEST(Balance, EarAndRrStorageSharesAreClose) {
+  BalanceConfig rr_cfg;
+  rr_cfg.use_ear = false;
+  BalanceConfig ear_cfg;
+  ear_cfg.use_ear = true;
+  const auto rr = storage_share_by_rack(rr_cfg, 2000, 20);
+  const auto ear = storage_share_by_rack(ear_cfg, 2000, 20);
+  for (size_t i = 0; i < rr.size(); ++i) {
+    EXPECT_NEAR(rr[i], ear[i], 0.25) << "rack rank " << i;
+  }
+}
+
+TEST(Balance, HotnessDecreasesWithFileSize) {
+  BalanceConfig cfg;
+  const double h_small = read_hotness_index(cfg, 10, 30);
+  const double h_large = read_hotness_index(cfg, 1000, 10);
+  EXPECT_GT(h_small, h_large);
+  // A 1000-block file over 20 racks: H must approach 5%.
+  EXPECT_LT(h_large, 7.0);
+  EXPECT_GE(h_large, 5.0);
+}
+
+TEST(Balance, EarAndRrHotnessAreClose) {
+  for (const int file_blocks : {10, 100, 1000}) {
+    BalanceConfig rr_cfg;
+    rr_cfg.use_ear = false;
+    BalanceConfig ear_cfg;
+    ear_cfg.use_ear = true;
+    const double rr = read_hotness_index(rr_cfg, file_blocks, 20);
+    const double ear = read_hotness_index(ear_cfg, file_blocks, 20);
+    EXPECT_NEAR(rr, ear, rr * 0.15) << "file=" << file_blocks;
+  }
+}
+
+}  // namespace
+}  // namespace ear::analysis

@@ -1,0 +1,132 @@
+#include "cfs/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+
+#include "common/rng.h"
+
+namespace ear::cfs {
+namespace {
+
+CfsConfig ck_config() {
+  CfsConfig cfg;
+  cfg.racks = 10;
+  cfg.nodes_per_rack = 4;
+  cfg.placement.code = CodeParams{8, 6};
+  cfg.placement.replication = 3;
+  cfg.use_ear = true;
+  cfg.block_size = 16_KB;
+  cfg.seed = 51;
+  return cfg;
+}
+
+std::unique_ptr<MiniCfs> make_cfs(const CfsConfig& cfg) {
+  const Topology topo(cfg.racks, cfg.nodes_per_rack);
+  return std::make_unique<MiniCfs>(cfg,
+                                   std::make_unique<InstantTransport>(topo));
+}
+
+std::unique_ptr<Transport> instant(const CfsConfig& cfg) {
+  return std::make_unique<InstantTransport>(
+      Topology(cfg.racks, cfg.nodes_per_rack));
+}
+
+// Loads a cluster with some encoded and some replicated blocks.
+std::map<BlockId, std::vector<uint8_t>> populate(MiniCfs& cfs, Rng& rng) {
+  std::map<BlockId, std::vector<uint8_t>> contents;
+  while (cfs.sealed_stripes().size() < 2) {
+    std::vector<uint8_t> block(
+        static_cast<size_t>(cfs.config().block_size));
+    for (auto& b : block) b = static_cast<uint8_t>(rng.uniform(256));
+    const BlockId id = cfs.write_block(block);
+    contents[id] = std::move(block);
+  }
+  cfs.encode_stripe(cfs.sealed_stripes()[0]);
+  return contents;
+}
+
+TEST(Checkpoint, RoundTripPreservesReadsAndMetadata) {
+  const auto cfg = ck_config();
+  auto original = make_cfs(cfg);
+  Rng rng(1);
+  const auto contents = populate(*original, rng);
+
+  const auto image = save_checkpoint(*original);
+  EXPECT_GT(image.size(), 1000u);
+  auto restored = load_checkpoint(image, instant(cfg));
+
+  for (const auto& [id, data] : contents) {
+    EXPECT_EQ(restored->block_locations(id), original->block_locations(id));
+    EXPECT_EQ(restored->read_block(id, 0), data);
+  }
+  const StripeId encoded = original->sealed_stripes()[0];
+  EXPECT_TRUE(restored->is_encoded(encoded));
+  const auto orig_meta = original->stripe_meta(encoded);
+  const auto rest_meta = restored->stripe_meta(encoded);
+  EXPECT_EQ(rest_meta.data_blocks, orig_meta.data_blocks);
+  EXPECT_EQ(rest_meta.parity_blocks, orig_meta.parity_blocks);
+}
+
+TEST(Checkpoint, RestoredClusterSurvivesFailures) {
+  const auto cfg = ck_config();
+  auto original = make_cfs(cfg);
+  Rng rng(2);
+  const auto contents = populate(*original, rng);
+  const auto image = save_checkpoint(*original);
+  auto restored = load_checkpoint(image, instant(cfg));
+
+  // Degraded read through decoding must work on the restored cluster.
+  const StripeId stripe = restored->sealed_stripes().empty()
+                              ? original->sealed_stripes()[0]
+                              : restored->sealed_stripes()[0];
+  (void)stripe;
+  const auto meta = original->stripe_meta(original->sealed_stripes()[0]);
+  const BlockId victim = meta.data_blocks[0];
+  restored->kill_node(restored->block_locations(victim)[0]);
+  NodeId reader = 0;
+  while (!restored->node_alive(reader)) ++reader;
+  EXPECT_EQ(restored->read_block(victim, reader), contents.at(victim));
+}
+
+TEST(Checkpoint, RestoredClusterAcceptsNewWrites) {
+  const auto cfg = ck_config();
+  auto original = make_cfs(cfg);
+  Rng rng(3);
+  populate(*original, rng);
+  const BlockId last_before = original->all_blocks().back();
+
+  auto restored = load_checkpoint(save_checkpoint(*original), instant(cfg));
+  std::vector<uint8_t> fresh(static_cast<size_t>(cfg.block_size), 0x42);
+  const BlockId id = restored->write_block(fresh);
+  EXPECT_GT(id, last_before) << "block ids must not collide after restore";
+  EXPECT_EQ(restored->read_block(id, 0), fresh);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const auto cfg = ck_config();
+  auto original = make_cfs(cfg);
+  Rng rng(4);
+  const auto contents = populate(*original, rng);
+
+  const std::string path = ::testing::TempDir() + "/cluster.ckpt";
+  ASSERT_TRUE(save_checkpoint_file(*original, path));
+  auto restored = load_checkpoint_file(path, instant(cfg));
+  for (const auto& [id, data] : contents) {
+    EXPECT_EQ(restored->read_block(id, 0), data);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+  std::vector<uint8_t> garbage{'n', 'o', 'p', 'e'};
+  EXPECT_THROW(load_checkpoint(garbage, instant(ck_config())),
+               std::runtime_error);
+  std::vector<uint8_t> truncated{'E', 'A', 'R', 'C', 'K', 'P', 'T', '1', 0};
+  EXPECT_THROW(load_checkpoint(truncated, instant(ck_config())),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ear::cfs

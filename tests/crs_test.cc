@@ -1,0 +1,146 @@
+#include "erasure/crs.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ear::erasure {
+namespace {
+
+std::vector<std::vector<uint8_t>> random_blocks(int count, size_t size,
+                                                Rng& rng) {
+  std::vector<std::vector<uint8_t>> blocks(static_cast<size_t>(count));
+  for (auto& b : blocks) {
+    b.resize(size);
+    for (auto& byte : b) byte = static_cast<uint8_t>(rng.uniform(256));
+  }
+  return blocks;
+}
+
+std::vector<BlockView> views(const std::vector<std::vector<uint8_t>>& v) {
+  return {v.begin(), v.end()};
+}
+std::vector<MutBlockView> mut_views(std::vector<std::vector<uint8_t>>& v) {
+  return {v.begin(), v.end()};
+}
+
+TEST(CRS, EncodeIsDeterministicAndNonTrivial) {
+  Rng rng(81);
+  const CRSCode code(10, 8);
+  const size_t block = 128;  // divisible by 8
+  auto data = random_blocks(8, block, rng);
+  std::vector<std::vector<uint8_t>> p1(2, std::vector<uint8_t>(block));
+  std::vector<std::vector<uint8_t>> p2(2, std::vector<uint8_t>(block));
+  auto v1 = mut_views(p1);
+  auto v2 = mut_views(p2);
+  code.encode(views(data), v1);
+  code.encode(views(data), v2);
+  EXPECT_EQ(p1, p2);
+  bool nonzero = false;
+  for (const uint8_t b : p1[0]) {
+    if (b) nonzero = true;
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(CRS, RejectsUnalignedBlocks) {
+  Rng rng(82);
+  const CRSCode code(6, 4);
+  auto data = random_blocks(4, 13, rng);  // not divisible by 8
+  std::vector<std::vector<uint8_t>> parity(2, std::vector<uint8_t>(13));
+  auto pv = mut_views(parity);
+  EXPECT_THROW(code.encode(views(data), pv), std::invalid_argument);
+}
+
+TEST(CRS, AnyKSubsetReconstructsData) {
+  Rng rng(83);
+  for (const auto& [n, k] : std::vector<std::pair<int, int>>{
+           {6, 4}, {10, 8}, {14, 10}}) {
+    const CRSCode code(n, k);
+    const size_t block = 64;
+    auto data = random_blocks(k, block, rng);
+    std::vector<std::vector<uint8_t>> parity(
+        static_cast<size_t>(n - k), std::vector<uint8_t>(block));
+    auto pv = mut_views(parity);
+    code.encode(views(data), pv);
+    std::vector<std::vector<uint8_t>> all = data;
+    all.insert(all.end(), parity.begin(), parity.end());
+
+    for (int trial = 0; trial < 30; ++trial) {
+      const auto picks = rng.sample_without_replacement(
+          static_cast<size_t>(n), static_cast<size_t>(k));
+      std::vector<int> ids(picks.begin(), picks.end());
+      std::vector<BlockView> available;
+      for (const int id : ids) {
+        available.emplace_back(all[static_cast<size_t>(id)]);
+      }
+      std::vector<int> wanted;
+      for (int i = 0; i < k; ++i) wanted.push_back(i);
+      std::vector<std::vector<uint8_t>> out(
+          static_cast<size_t>(k), std::vector<uint8_t>(block));
+      auto ov = mut_views(out);
+      ASSERT_TRUE(code.reconstruct(ids, available, wanted, ov));
+      EXPECT_EQ(out, data) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CRS, ReconstructParityBlocks) {
+  Rng rng(84);
+  const CRSCode code(9, 6);
+  const size_t block = 48;
+  auto data = random_blocks(6, block, rng);
+  std::vector<std::vector<uint8_t>> parity(3, std::vector<uint8_t>(block));
+  auto pv = mut_views(parity);
+  code.encode(views(data), pv);
+
+  std::vector<int> ids{0, 1, 2, 3, 4, 5};
+  auto available = views(data);
+  std::vector<std::vector<uint8_t>> out(3, std::vector<uint8_t>(block));
+  auto ov = mut_views(out);
+  ASSERT_TRUE(code.reconstruct(ids, available, {6, 7, 8}, ov));
+  EXPECT_EQ(out[0], parity[0]);
+  EXPECT_EQ(out[1], parity[1]);
+  EXPECT_EQ(out[2], parity[2]);
+}
+
+TEST(CRS, IdentityCoefficientYieldsPlainCopy) {
+  // Reconstructing an available data block must reproduce it exactly
+  // (bit-matrix of coefficient 1 is the identity).
+  Rng rng(85);
+  const CRSCode code(6, 4);
+  const size_t block = 32;
+  auto data = random_blocks(4, block, rng);
+  std::vector<std::vector<uint8_t>> parity(2, std::vector<uint8_t>(block));
+  auto pv = mut_views(parity);
+  code.encode(views(data), pv);
+
+  std::vector<int> ids{0, 1, 2, 3};
+  auto available = views(data);
+  std::vector<std::vector<uint8_t>> out(1, std::vector<uint8_t>(block));
+  auto ov = mut_views(out);
+  ASSERT_TRUE(code.reconstruct(ids, available, {2}, ov));
+  EXPECT_EQ(out[0], data[2]);
+}
+
+TEST(CRS, ScheduleDensityIsReasonable) {
+  // Each nonzero coefficient contributes between 8 (identity-like) and 64
+  // XORed packets; the schedule must stay within those bounds.
+  const CRSCode code(14, 10);
+  const int64_t nonzero_coeffs = 10 * 4;  // dense Cauchy parity rows
+  EXPECT_GE(code.schedule_xor_count(), nonzero_coeffs * 8);
+  EXPECT_LE(code.schedule_xor_count(), nonzero_coeffs * 64);
+}
+
+TEST(CRS, MatchesByteCodeParameters) {
+  const CRSCode code(12, 10);
+  EXPECT_EQ(code.n(), 12);
+  EXPECT_EQ(code.k(), 10);
+  EXPECT_EQ(code.m(), 2);
+  EXPECT_EQ(code.byte_code().construction(), Construction::kCauchy);
+}
+
+}  // namespace
+}  // namespace ear::erasure

@@ -1,0 +1,148 @@
+#include "gf256/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ear::gf {
+namespace {
+
+TEST(Gf256, AddIsXor) {
+  EXPECT_EQ(add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(add(0, 0xFF), 0xFF);
+  EXPECT_EQ(add(0xAB, 0xAB), 0);
+}
+
+TEST(Gf256, MulByZeroAndOne) {
+  for (int a = 0; a < 256; ++a) {
+    const auto byte = static_cast<uint8_t>(a);
+    EXPECT_EQ(mul(byte, 0), 0);
+    EXPECT_EQ(mul(0, byte), 0);
+    EXPECT_EQ(mul(byte, 1), byte);
+    EXPECT_EQ(mul(1, byte), byte);
+  }
+}
+
+TEST(Gf256, MulMatchesSchoolbookCarrylessReduction) {
+  // Reference multiply: carry-less polynomial product reduced mod 0x11d.
+  const auto reference = [](uint8_t a, uint8_t b) {
+    unsigned product = 0;
+    unsigned aa = a;
+    for (int i = 0; i < 8; ++i) {
+      if (b & (1u << i)) product ^= aa << i;
+    }
+    for (int bit = 15; bit >= 8; --bit) {
+      if (product & (1u << bit)) product ^= kPrimitivePoly << (bit - 8);
+    }
+    return static_cast<uint8_t>(product);
+  };
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      ASSERT_EQ(mul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)),
+                reference(static_cast<uint8_t>(a), static_cast<uint8_t>(b)))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Gf256, MulIsCommutativeAndAssociative) {
+  Rng rng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto a = static_cast<uint8_t>(rng.uniform(256));
+    const auto b = static_cast<uint8_t>(rng.uniform(256));
+    const auto c = static_cast<uint8_t>(rng.uniform(256));
+    EXPECT_EQ(mul(a, b), mul(b, a));
+    EXPECT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+    EXPECT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)))
+        << "distributivity";
+  }
+}
+
+TEST(Gf256, EveryNonZeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto byte = static_cast<uint8_t>(a);
+    EXPECT_EQ(mul(byte, inv(byte)), 1) << "a=" << a;
+    EXPECT_EQ(div(byte, byte), 1);
+  }
+}
+
+TEST(Gf256, ExpAlphaGeneratesWholeField) {
+  std::array<bool, 256> seen{};
+  for (unsigned i = 0; i < 255; ++i) {
+    seen[exp_alpha(i)] = true;
+  }
+  int count = 0;
+  for (int v = 1; v < 256; ++v) {
+    if (seen[static_cast<size_t>(v)]) ++count;
+  }
+  EXPECT_EQ(count, 255) << "alpha must be primitive";
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  Rng rng(2);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto a = static_cast<uint8_t>(rng.uniform(255) + 1);
+    const auto e = static_cast<unsigned>(rng.uniform(600));
+    uint8_t expected = 1;
+    for (unsigned i = 0; i < e; ++i) expected = mul(expected, a);
+    EXPECT_EQ(pow(a, e), expected);
+  }
+  EXPECT_EQ(pow(0, 0), 1);
+  EXPECT_EQ(pow(0, 5), 0);
+}
+
+TEST(Gf256, MulTableMatchesMul) {
+  for (int c = 0; c < 256; ++c) {
+    const MulTable table(static_cast<uint8_t>(c));
+    for (int b = 0; b < 256; ++b) {
+      ASSERT_EQ(table.apply(static_cast<uint8_t>(b)),
+                mul(static_cast<uint8_t>(c), static_cast<uint8_t>(b)));
+    }
+  }
+}
+
+TEST(Gf256, MulAddKernel) {
+  Rng rng(3);
+  std::vector<uint8_t> src(1031), dst(1031), expected(1031);
+  for (size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<uint8_t>(rng.uniform(256));
+    dst[i] = static_cast<uint8_t>(rng.uniform(256));
+  }
+  for (int c : {0, 1, 2, 37, 255}) {
+    std::vector<uint8_t> out = dst;
+    for (size_t i = 0; i < src.size(); ++i) {
+      expected[i] = add(dst[i], mul(static_cast<uint8_t>(c), src[i]));
+    }
+    mul_add(static_cast<uint8_t>(c), src, out);
+    EXPECT_EQ(out, expected) << "c=" << c;
+  }
+}
+
+TEST(Gf256, MulAssignKernel) {
+  Rng rng(4);
+  std::vector<uint8_t> src(517), dst(517), expected(517);
+  for (size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<uint8_t>(rng.uniform(256));
+  }
+  for (int c : {0, 1, 91, 254}) {
+    for (size_t i = 0; i < src.size(); ++i) {
+      expected[i] = mul(static_cast<uint8_t>(c), src[i]);
+    }
+    mul_assign(static_cast<uint8_t>(c), src, dst);
+    EXPECT_EQ(dst, expected) << "c=" << c;
+  }
+}
+
+TEST(Gf256, XorAddKernelHandlesOddLengths) {
+  for (size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u}) {
+    std::vector<uint8_t> src(len, 0x5A), dst(len, 0xFF);
+    xor_add(src, dst);
+    for (const uint8_t b : dst) EXPECT_EQ(b, 0x5A ^ 0xFF);
+  }
+}
+
+}  // namespace
+}  // namespace ear::gf

@@ -1,0 +1,208 @@
+#include "erasure/lrc.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "gf256/gf256.h"
+
+namespace ear::erasure {
+namespace {
+
+std::vector<std::vector<uint8_t>> random_blocks(int count, size_t size,
+                                                Rng& rng) {
+  std::vector<std::vector<uint8_t>> blocks(static_cast<size_t>(count));
+  for (auto& b : blocks) {
+    b.resize(size);
+    for (auto& byte : b) byte = static_cast<uint8_t>(rng.uniform(256));
+  }
+  return blocks;
+}
+
+std::vector<BlockView> views(const std::vector<std::vector<uint8_t>>& v) {
+  return {v.begin(), v.end()};
+}
+std::vector<MutBlockView> mut_views(std::vector<std::vector<uint8_t>>& v) {
+  return {v.begin(), v.end()};
+}
+
+// Encodes a full LRC stripe; returns all n blocks.
+std::vector<std::vector<uint8_t>> full_stripe(const LRCCode& code,
+                                              size_t block_size, Rng& rng) {
+  auto data = random_blocks(code.k(), block_size, rng);
+  std::vector<std::vector<uint8_t>> parity(
+      static_cast<size_t>(code.l() + code.g()),
+      std::vector<uint8_t>(block_size));
+  auto pv = mut_views(parity);
+  code.encode(views(data), pv);
+  data.insert(data.end(), parity.begin(), parity.end());
+  return data;
+}
+
+TEST(LRC, ShapeAndGroups) {
+  const LRCCode code(12, 2, 2);  // Azure LRC(12, 2, 2)
+  EXPECT_EQ(code.n(), 16);
+  EXPECT_EQ(code.group_size(), 6);
+  EXPECT_EQ(code.group_of(0), 0);
+  EXPECT_EQ(code.group_of(5), 0);
+  EXPECT_EQ(code.group_of(6), 1);
+  EXPECT_EQ(code.group_of(12), 0);   // local parity of group 0
+  EXPECT_EQ(code.group_of(13), 1);   // local parity of group 1
+  EXPECT_EQ(code.group_of(14), -1);  // global parity
+}
+
+TEST(LRC, RejectsInvalidShapes) {
+  EXPECT_THROW(LRCCode(10, 3, 2), std::invalid_argument);  // 10 % 3 != 0
+  EXPECT_THROW(LRCCode(10, 0, 2), std::invalid_argument);
+}
+
+TEST(LRC, LocalParityIsGroupXor) {
+  Rng rng(71);
+  const LRCCode code(6, 2, 2);
+  const auto all = full_stripe(code, 64, rng);
+  for (int g = 0; g < 2; ++g) {
+    std::vector<uint8_t> expected(64, 0);
+    for (int d = g * 3; d < (g + 1) * 3; ++d) {
+      gf::xor_add(all[static_cast<size_t>(d)], expected);
+    }
+    EXPECT_EQ(all[static_cast<size_t>(6 + g)], expected);
+  }
+}
+
+TEST(LRC, RepairPlanIsLocalForDataBlocks) {
+  const LRCCode code(12, 2, 2);
+  const auto plan = code.repair_plan(3);
+  // Group 0 = blocks 0..5 plus local parity 12.
+  EXPECT_EQ(plan.size(), 6u);  // 5 group members + local parity
+  for (const int id : plan) {
+    EXPECT_NE(id, 3);
+    EXPECT_TRUE((id >= 0 && id < 6) || id == 12);
+  }
+}
+
+TEST(LRC, RepairReadsFewerBlocksThanRs) {
+  // The headline LRC benefit: single-failure repair reads group_size blocks
+  // instead of k.
+  const LRCCode code(12, 2, 2);
+  EXPECT_EQ(code.repair_plan(0).size(), 6u);
+  const RSCode rs(16, 12);
+  (void)rs;  // RS repair always needs k = 12 reads
+  EXPECT_LT(code.repair_plan(0).size(), 12u);
+}
+
+TEST(LRC, SingleFailureLocalRepairRestoresEveryBlock) {
+  Rng rng(72);
+  const LRCCode code(12, 2, 2);
+  const size_t block_size = 96;
+  const auto all = full_stripe(code, block_size, rng);
+
+  for (int lost = 0; lost < code.n(); ++lost) {
+    const auto plan = code.repair_plan(lost);
+    std::vector<BlockView> sources;
+    for (const int id : plan) {
+      sources.emplace_back(all[static_cast<size_t>(id)]);
+    }
+    std::vector<uint8_t> rebuilt(block_size);
+    code.repair(lost, sources, rebuilt);
+    EXPECT_EQ(rebuilt, all[static_cast<size_t>(lost)]) << "lost=" << lost;
+  }
+}
+
+TEST(LRC, ReconstructAfterTwoFailuresInDifferentGroups) {
+  Rng rng(73);
+  const LRCCode code(8, 2, 2);
+  const size_t block_size = 48;
+  const auto all = full_stripe(code, block_size, rng);
+
+  // Lose data 1 (group 0) and data 6 (group 1).
+  std::vector<int> available_ids;
+  std::vector<BlockView> available;
+  for (int id = 0; id < code.n(); ++id) {
+    if (id == 1 || id == 6) continue;
+    available_ids.push_back(id);
+    available.emplace_back(all[static_cast<size_t>(id)]);
+  }
+  std::vector<std::vector<uint8_t>> out(2, std::vector<uint8_t>(block_size));
+  auto ov = mut_views(out);
+  ASSERT_TRUE(code.reconstruct(available_ids, available, {1, 6}, ov));
+  EXPECT_EQ(out[0], all[1]);
+  EXPECT_EQ(out[1], all[6]);
+}
+
+TEST(LRC, ReconstructAfterGlobalPlusLocalFailures) {
+  Rng rng(74);
+  const LRCCode code(8, 2, 2);
+  const size_t block_size = 32;
+  const auto all = full_stripe(code, block_size, rng);
+
+  // Lose data 0, data 1 (same group!) and one global parity: 3 failures,
+  // recoverable via the remaining global parity + local relations.
+  std::vector<int> lost{0, 1, 10};
+  std::vector<int> available_ids;
+  std::vector<BlockView> available;
+  for (int id = 0; id < code.n(); ++id) {
+    if (std::find(lost.begin(), lost.end(), id) != lost.end()) continue;
+    available_ids.push_back(id);
+    available.emplace_back(all[static_cast<size_t>(id)]);
+  }
+  std::vector<std::vector<uint8_t>> out(3, std::vector<uint8_t>(block_size));
+  auto ov = mut_views(out);
+  ASSERT_TRUE(code.reconstruct(available_ids, available, lost, ov));
+  for (size_t i = 0; i < lost.size(); ++i) {
+    EXPECT_EQ(out[i], all[static_cast<size_t>(lost[i])]);
+  }
+}
+
+TEST(LRC, DetectsUnrecoverablePattern) {
+  Rng rng(75);
+  const LRCCode code(8, 2, 2);
+  const auto all = full_stripe(code, 32, rng);
+  (void)all;
+
+  // Lose an entire group's data + its local parity + both globals:
+  // 4 data unknowns in the group but only ... nothing to recover them.
+  std::vector<int> lost{0, 1, 2, 3, 8, 10, 11};
+  std::vector<int> available_ids;
+  std::vector<BlockView> available;
+  for (int id = 0; id < code.n(); ++id) {
+    if (std::find(lost.begin(), lost.end(), id) != lost.end()) continue;
+    available_ids.push_back(id);
+    available.emplace_back(all[static_cast<size_t>(id)]);
+  }
+  std::vector<std::vector<uint8_t>> out(1, std::vector<uint8_t>(32));
+  auto ov = mut_views(out);
+  EXPECT_FALSE(code.reconstruct(available_ids, available, {0}, ov));
+}
+
+// Parameterized sweep over LRC shapes: single-failure repair must always
+// work, and the storage overhead stays below the replication factor.
+class LRCShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LRCShapes, SingleRepairAndOverhead) {
+  const auto [k, l, g] = GetParam();
+  if (k % l != 0) GTEST_SKIP() << "grid combo invalid";
+  Rng rng(static_cast<uint64_t>(k * 100 + l * 10 + g));
+  const LRCCode code(k, l, g);
+  const auto all = full_stripe(code, 40, rng);
+  for (int lost = 0; lost < code.n(); ++lost) {
+    const auto plan = code.repair_plan(lost);
+    std::vector<BlockView> sources;
+    for (const int id : plan) sources.emplace_back(all[static_cast<size_t>(id)]);
+    std::vector<uint8_t> rebuilt(40);
+    code.repair(lost, sources, rebuilt);
+    ASSERT_EQ(rebuilt, all[static_cast<size_t>(lost)]);
+  }
+  const double overhead = static_cast<double>(code.n()) / code.k();
+  EXPECT_LE(overhead, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LRCShapes,
+    ::testing::Combine(::testing::Values(6, 8, 12), ::testing::Values(2, 3),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace ear::erasure

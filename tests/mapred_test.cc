@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "mapred/mapreduce.h"
+#include "mapred/swim.h"
+#include "placement/policy.h"
+#include "sim/network.h"
+
+namespace ear::mapred {
+namespace {
+
+struct World {
+  Topology topo{8, 4};
+  sim::Engine engine;
+  sim::Network network;
+  std::unique_ptr<PlacementPolicy> policy;
+
+  explicit World(bool use_ear, uint64_t seed = 3)
+      : network(engine, topo, sim::NetConfig{}) {
+    PlacementConfig pc;
+    pc.code = CodeParams{8, 6};
+    pc.replication = 3;
+    policy = use_ear ? make_encoding_aware_replication(topo, pc, seed)
+                     : make_random_replication(topo, pc, seed);
+  }
+};
+
+MapReduceConfig small_mr() {
+  MapReduceConfig cfg;
+  cfg.block_size = 16_MB;
+  cfg.map_slots_per_node = 2;
+  cfg.reducers_per_job = 2;
+  return cfg;
+}
+
+TEST(MapReduce, SingleMapOnlyJobCompletes) {
+  World w(true);
+  MapReduceCluster mr(w.engine, w.network, *w.policy, small_mr());
+  JobSpec spec;
+  spec.id = 0;
+  spec.submit_time = 1.0;
+  spec.input_size = 32_MB;  // 2 map tasks
+  spec.shuffle_size = 0;
+  spec.output_size = 16_MB;
+  mr.submit(spec);
+  w.engine.run();
+  ASSERT_EQ(mr.results().size(), 1u);
+  const JobResult& r = mr.results()[0];
+  EXPECT_EQ(r.map_tasks, 2);
+  EXPECT_GT(r.finish_time, r.submit_time);
+}
+
+TEST(MapReduce, ShuffleJobCompletes) {
+  World w(true);
+  MapReduceCluster mr(w.engine, w.network, *w.policy, small_mr());
+  JobSpec spec;
+  spec.id = 1;
+  spec.submit_time = 0.0;
+  spec.input_size = 64_MB;
+  spec.shuffle_size = 32_MB;
+  spec.output_size = 32_MB;
+  mr.submit(spec);
+  w.engine.run();
+  ASSERT_EQ(mr.results().size(), 1u);
+  EXPECT_EQ(mr.results()[0].map_tasks, 4);
+}
+
+TEST(MapReduce, MostMapsAreDataLocalWhenClusterIsIdle) {
+  World w(false);
+  MapReduceCluster mr(w.engine, w.network, *w.policy, small_mr());
+  JobSpec spec;
+  spec.id = 2;
+  spec.submit_time = 0.0;
+  spec.input_size = 20 * 16_MB;
+  spec.output_size = 16_MB;
+  mr.submit(spec);
+  w.engine.run();
+  ASSERT_EQ(mr.results().size(), 1u);
+  const JobResult& r = mr.results()[0];
+  EXPECT_EQ(r.data_local_maps + r.rack_local_maps + r.remote_maps,
+            r.map_tasks);
+  // With 3 replicas and 2 slots on each of 32 nodes, nearly every map should
+  // land on a replica holder.
+  EXPECT_GT(r.data_local_maps, r.map_tasks / 2);
+}
+
+TEST(MapReduce, ConcurrentJobsAllFinish) {
+  World w(true);
+  MapReduceCluster mr(w.engine, w.network, *w.policy, small_mr());
+  for (int i = 0; i < 5; ++i) {
+    JobSpec spec;
+    spec.id = i;
+    spec.submit_time = i * 0.5;
+    spec.input_size = 4 * 16_MB;
+    spec.shuffle_size = (i % 2 == 0) ? 0 : 16_MB;
+    spec.output_size = 16_MB;
+    mr.submit(spec);
+  }
+  w.engine.run();
+  EXPECT_EQ(mr.results().size(), 5u);
+  EXPECT_EQ(mr.total_map_tasks(), 20);
+}
+
+TEST(MapReduce, ZeroOutputJobFinishesAtShuffleEnd) {
+  World w(true);
+  MapReduceCluster mr(w.engine, w.network, *w.policy, small_mr());
+  JobSpec spec;
+  spec.id = 9;
+  spec.submit_time = 0.0;
+  spec.input_size = 16_MB;
+  spec.shuffle_size = 0;
+  spec.output_size = 0;
+  mr.submit(spec);
+  w.engine.run();
+  ASSERT_EQ(mr.results().size(), 1u);
+  EXPECT_GT(mr.results()[0].finish_time, 0.0);
+}
+
+TEST(Swim, GeneratesRequestedJobCount) {
+  SwimConfig cfg;
+  cfg.jobs = 50;
+  const auto jobs = generate_swim_workload(cfg);
+  ASSERT_EQ(jobs.size(), 50u);
+  for (size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].submit_time, jobs[i - 1].submit_time);
+  }
+}
+
+TEST(Swim, ShapesAreHeavyTailedAndMixed) {
+  SwimConfig cfg;
+  cfg.jobs = 500;
+  cfg.seed = 9;
+  const auto jobs = generate_swim_workload(cfg);
+  int map_only = 0;
+  Bytes min_input = jobs[0].input_size, max_input = jobs[0].input_size;
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.input_size, cfg.block_size);
+    if (j.shuffle_size == 0) ++map_only;
+    min_input = std::min(min_input, j.input_size);
+    max_input = std::max(max_input, j.input_size);
+  }
+  // ~60% map-only.
+  EXPECT_GT(map_only, 250);
+  EXPECT_LT(map_only, 350);
+  // Heavy tail: largest job at least 10x the smallest.
+  EXPECT_GE(max_input, 10 * min_input);
+}
+
+TEST(Swim, DeterministicPerSeed) {
+  SwimConfig cfg;
+  cfg.jobs = 20;
+  const auto a = generate_swim_workload(cfg);
+  const auto b = generate_swim_workload(cfg);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].input_size, b[i].input_size);
+    EXPECT_DOUBLE_EQ(a[i].submit_time, b[i].submit_time);
+  }
+}
+
+TEST(MapReduce, RrAndEarJobRuntimesAreComparable) {
+  // Experiment A.3's conclusion: EAR does not hurt MapReduce on replicated
+  // data.  Total completion time within 20% of each other.
+  double makespan[2] = {0, 0};
+  for (const bool use_ear : {false, true}) {
+    World w(use_ear, 17);
+    MapReduceCluster mr(w.engine, w.network, *w.policy, small_mr());
+    SwimConfig swim;
+    swim.jobs = 20;
+    swim.block_size = 16_MB;
+    swim.max_input_blocks = 16;
+    for (const auto& job : generate_swim_workload(swim)) mr.submit(job);
+    w.engine.run();
+    EXPECT_EQ(mr.results().size(), 20u);
+    for (const auto& r : mr.results()) {
+      makespan[use_ear ? 1 : 0] =
+          std::max(makespan[use_ear ? 1 : 0], r.finish_time);
+    }
+  }
+  EXPECT_NEAR(makespan[0], makespan[1], makespan[0] * 0.2);
+}
+
+}  // namespace
+}  // namespace ear::mapred

@@ -1,0 +1,126 @@
+#include "erasure/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gf256/gf256.h"
+
+namespace ear::erasure {
+namespace {
+
+TEST(Matrix, IdentityProperties) {
+  const Matrix id = Matrix::identity(5);
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_EQ(id.multiply(id), id);
+  EXPECT_EQ(id.inverted(), id);
+}
+
+TEST(Matrix, VandermondeShape) {
+  const Matrix v = Matrix::vandermonde(6, 4);
+  EXPECT_EQ(v.rows(), 6);
+  EXPECT_EQ(v.cols(), 4);
+  // Row 0 evaluates at alpha^0 = 1: all entries 1.
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(v.at(0, c), 1);
+  // Column 0 is x^0: all entries 1.
+  for (int r = 0; r < 6; ++r) EXPECT_EQ(v.at(r, 0), 1);
+}
+
+TEST(Matrix, AnyKRowsOfVandermondeAreInvertible) {
+  const int n = 12, k = 8;
+  const Matrix v = Matrix::vandermonde(n, k);
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto rows64 =
+        rng.sample_without_replacement(static_cast<size_t>(n),
+                                       static_cast<size_t>(k));
+    std::vector<int> rows(rows64.begin(), rows64.end());
+    const Matrix sub = v.select_rows(rows);
+    const Matrix inv = sub.inverted();
+    ASSERT_NE(inv.rows(), 0) << "singular k-row subset";
+    EXPECT_TRUE(sub.multiply(inv).is_identity());
+  }
+}
+
+TEST(Matrix, EverySquareSubmatrixOfCauchyIsInvertible) {
+  const Matrix c = Matrix::cauchy(4, 10);
+  Rng rng(12);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int size = static_cast<int>(rng.uniform(4)) + 1;
+    const auto rows64 = rng.sample_without_replacement(4, static_cast<size_t>(size));
+    const auto cols64 = rng.sample_without_replacement(10, static_cast<size_t>(size));
+    Matrix sub(size, size);
+    for (int r = 0; r < size; ++r) {
+      for (int col = 0; col < size; ++col) {
+        sub.at(r, col) = c.at(static_cast<int>(rows64[static_cast<size_t>(r)]),
+                              static_cast<int>(cols64[static_cast<size_t>(col)]));
+      }
+    }
+    EXPECT_NE(sub.inverted().rows(), 0);
+  }
+}
+
+TEST(Matrix, SingularMatrixReturnsEmptyInverse) {
+  Matrix m(3, 3);
+  // Two identical rows -> singular.
+  for (int c = 0; c < 3; ++c) {
+    m.at(0, c) = static_cast<uint8_t>(c + 1);
+    m.at(1, c) = static_cast<uint8_t>(c + 1);
+    m.at(2, c) = static_cast<uint8_t>(7 * c + 3);
+  }
+  EXPECT_EQ(m.inverted().rows(), 0);
+}
+
+TEST(Matrix, MultiplyAgainstManualComputation) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  uint8_t v = 1;
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 3; ++c) a.at(r, c) = v++;
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 2; ++c) b.at(r, c) = v++;
+  const Matrix prod = a.multiply(b);
+  ASSERT_EQ(prod.rows(), 2);
+  ASSERT_EQ(prod.cols(), 2);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      uint8_t acc = 0;
+      for (int t = 0; t < 3; ++t) {
+        acc = gf::add(acc, gf::mul(a.at(r, t), b.at(t, c)));
+      }
+      EXPECT_EQ(prod.at(r, c), acc);
+    }
+  }
+}
+
+TEST(Matrix, InverseRoundTripRandomMatrices) {
+  Rng rng(13);
+  int invertible = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    Matrix m(6, 6);
+    for (int r = 0; r < 6; ++r) {
+      for (int c = 0; c < 6; ++c) {
+        m.at(r, c) = static_cast<uint8_t>(rng.uniform(256));
+      }
+    }
+    const Matrix inv = m.inverted();
+    if (inv.rows() == 0) continue;
+    ++invertible;
+    EXPECT_TRUE(m.multiply(inv).is_identity());
+    EXPECT_TRUE(inv.multiply(m).is_identity());
+  }
+  EXPECT_GT(invertible, 80) << "random GF(256) matrices are rarely singular";
+}
+
+TEST(Matrix, SelectRowsPreservesContent) {
+  const Matrix v = Matrix::vandermonde(5, 3);
+  const Matrix sel = v.select_rows({4, 0, 2});
+  EXPECT_EQ(sel.rows(), 3);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(sel.at(0, c), v.at(4, c));
+    EXPECT_EQ(sel.at(1, c), v.at(0, c));
+    EXPECT_EQ(sel.at(2, c), v.at(2, c));
+  }
+}
+
+}  // namespace
+}  // namespace ear::erasure

@@ -1,0 +1,170 @@
+#include "flow/maxflow.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ear::flow {
+namespace {
+
+TEST(MaxFlow, SingleEdge) {
+  MaxFlow mf(2);
+  const int e = mf.add_edge(0, 1, 7);
+  EXPECT_EQ(mf.solve(0, 1), 7);
+  EXPECT_EQ(mf.edge_flow(e), 7);
+  EXPECT_EQ(mf.edge_residual(e), 0);
+}
+
+TEST(MaxFlow, SeriesBottleneck) {
+  MaxFlow mf(3);
+  mf.add_edge(0, 1, 10);
+  mf.add_edge(1, 2, 3);
+  EXPECT_EQ(mf.solve(0, 2), 3);
+}
+
+TEST(MaxFlow, ParallelPaths) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 5);
+  mf.add_edge(1, 3, 5);
+  mf.add_edge(0, 2, 4);
+  mf.add_edge(2, 3, 4);
+  EXPECT_EQ(mf.solve(0, 3), 9);
+}
+
+TEST(MaxFlow, ClassicCLRSExample) {
+  // CLRS figure 26.1: max flow 23.
+  MaxFlow mf(6);
+  mf.add_edge(0, 1, 16);
+  mf.add_edge(0, 2, 13);
+  mf.add_edge(1, 2, 10);
+  mf.add_edge(2, 1, 4);
+  mf.add_edge(1, 3, 12);
+  mf.add_edge(3, 2, 9);
+  mf.add_edge(2, 4, 14);
+  mf.add_edge(4, 3, 7);
+  mf.add_edge(3, 5, 20);
+  mf.add_edge(4, 5, 4);
+  EXPECT_EQ(mf.solve(0, 5), 23);
+}
+
+TEST(MaxFlow, DisconnectedSinkIsZero) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 5);
+  mf.add_edge(2, 3, 5);
+  EXPECT_EQ(mf.solve(0, 3), 0);
+}
+
+TEST(MaxFlow, IncrementalResolveAfterAddingEdges) {
+  // EAR adds one block's edges at a time and re-solves; the returned value
+  // must be the cumulative flow.
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 1);
+  mf.add_edge(1, 3, 1);
+  EXPECT_EQ(mf.solve(0, 3), 1);
+  mf.add_edge(0, 2, 1);
+  mf.add_edge(2, 3, 1);
+  EXPECT_EQ(mf.solve(0, 3), 2);
+  // Solving again without changes is idempotent.
+  EXPECT_EQ(mf.solve(0, 3), 2);
+}
+
+TEST(MaxFlow, FlowConservationOnRandomGraphs) {
+  Rng rng(31);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int v = 8;
+    MaxFlow mf(v);
+    struct E {
+      int from, to, id;
+      int64_t cap;
+    };
+    std::vector<E> edges;
+    for (int i = 0; i < 24; ++i) {
+      const int from = static_cast<int>(rng.uniform(v));
+      int to = static_cast<int>(rng.uniform(v));
+      if (from == to) to = (to + 1) % v;
+      const auto cap = static_cast<int64_t>(rng.uniform(10));
+      edges.push_back({from, to, mf.add_edge(from, to, cap), cap});
+    }
+    const int64_t total = mf.solve(0, v - 1);
+
+    // Conservation: for every internal vertex, inflow == outflow.
+    std::vector<int64_t> net(v, 0);
+    for (const E& e : edges) {
+      const int64_t f = mf.edge_flow(e.id);
+      ASSERT_GE(f, 0);
+      ASSERT_LE(f, e.cap);
+      net[e.from] -= f;
+      net[e.to] += f;
+    }
+    EXPECT_EQ(net[0], -total);
+    EXPECT_EQ(net[v - 1], total);
+    for (int i = 1; i < v - 1; ++i) EXPECT_EQ(net[i], 0) << "vertex " << i;
+  }
+}
+
+TEST(BipartiteMatching, PerfectMatchingFound) {
+  // 3 left, 3 right, bipartite cycle: perfect matching exists.
+  const std::vector<std::vector<int>> adj{{0, 1}, {1, 2}, {2, 0}};
+  const auto match = maximum_bipartite_matching(3, 3, adj);
+  ASSERT_EQ(match.size(), 3u);
+  std::vector<int> used;
+  for (int l = 0; l < 3; ++l) {
+    ASSERT_NE(match[static_cast<size_t>(l)], -1);
+    used.push_back(match[static_cast<size_t>(l)]);
+  }
+  std::sort(used.begin(), used.end());
+  EXPECT_EQ(used, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(BipartiteMatching, PartialMatchingWhenContended) {
+  // All three left vertices want right vertex 0 only.
+  const std::vector<std::vector<int>> adj{{0}, {0}, {0}};
+  const auto match = maximum_bipartite_matching(3, 2, adj);
+  int matched = 0;
+  for (const int m : match) {
+    if (m != -1) ++matched;
+  }
+  EXPECT_EQ(matched, 1);
+}
+
+TEST(BipartiteMatching, MatchingIsValid) {
+  Rng rng(32);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int l = 6, r = 6;
+    std::vector<std::vector<int>> adj(l);
+    for (int i = 0; i < l; ++i) {
+      for (int j = 0; j < r; ++j) {
+        if (rng.bernoulli(0.4)) adj[static_cast<size_t>(i)].push_back(j);
+      }
+    }
+    const auto match = maximum_bipartite_matching(l, r, adj);
+    std::vector<bool> right_used(r, false);
+    for (int i = 0; i < l; ++i) {
+      const int m = match[static_cast<size_t>(i)];
+      if (m == -1) continue;
+      // Matched vertex must be adjacent and unused.
+      EXPECT_TRUE(std::find(adj[static_cast<size_t>(i)].begin(),
+                            adj[static_cast<size_t>(i)].end(),
+                            m) != adj[static_cast<size_t>(i)].end());
+      EXPECT_FALSE(right_used[static_cast<size_t>(m)]);
+      right_used[static_cast<size_t>(m)] = true;
+    }
+  }
+}
+
+TEST(BipartiteMatching, HallViolatorLimitsMatching) {
+  // Left {0,1,2} all map into right {0,1}: matching size must be 2.
+  const std::vector<std::vector<int>> adj{{0, 1}, {0, 1}, {0, 1}, {2}};
+  const auto match = maximum_bipartite_matching(4, 3, adj);
+  int matched = 0;
+  for (const int m : match) {
+    if (m != -1) ++matched;
+  }
+  EXPECT_EQ(matched, 3);  // 2 from the contended set + 1 for vertex 3
+}
+
+}  // namespace
+}  // namespace ear::flow

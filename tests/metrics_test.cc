@@ -1,0 +1,71 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ear::sim {
+namespace {
+
+SimResult tiny_run() {
+  SimConfig cfg;
+  cfg.racks = 6;
+  cfg.nodes_per_rack = 3;
+  cfg.placement.code = CodeParams{6, 4};
+  cfg.block_size = 4_MB;
+  cfg.encode_processes = 2;
+  cfg.stripes_per_process = 3;
+  cfg.encode_start = 5.0;
+  cfg.seed = 9;
+  return ClusterSim(cfg).run();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Metrics, StripeCompletionCsv) {
+  const SimResult result = tiny_run();
+  const std::string path = ::testing::TempDir() + "/stripes.csv";
+  ASSERT_TRUE(write_stripe_completion_csv(result, path));
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("time_s,stripes_encoded"), std::string::npos);
+  // 6 stripes -> header + 6 rows.
+  EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 7);
+  std::remove(path.c_str());
+}
+
+TEST(Metrics, ResponseTimesCsv) {
+  const SimResult result = tiny_run();
+  const std::string path = ::testing::TempDir() + "/responses.csv";
+  ASSERT_TRUE(write_response_times_csv(result, path));
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("phase,response_s"), std::string::npos);
+  const auto rows = static_cast<size_t>(
+      std::count(content.begin(), content.end(), '\n'));
+  EXPECT_EQ(rows, 1 + result.write_response_before.count() +
+                      result.write_response_during.count());
+  std::remove(path.c_str());
+}
+
+TEST(Metrics, WriteFailsOnBadPath) {
+  const SimResult result = tiny_run();
+  EXPECT_FALSE(write_stripe_completion_csv(result, "/no/such/dir/x.csv"));
+  EXPECT_FALSE(write_response_times_csv(result, "/no/such/dir/x.csv"));
+}
+
+TEST(Metrics, SummaryContainsKeyFields) {
+  const SimResult result = tiny_run();
+  const std::string s = summarize(result);
+  EXPECT_NE(s.find("stripes=6"), std::string::npos);
+  EXPECT_NE(s.find("encode_mbps="), std::string::npos);
+  EXPECT_NE(s.find("xdl="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ear::sim

@@ -1,0 +1,211 @@
+#include "erasure/rs.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ear::erasure {
+namespace {
+
+std::vector<std::vector<uint8_t>> random_blocks(int count, size_t size,
+                                                Rng& rng) {
+  std::vector<std::vector<uint8_t>> blocks(static_cast<size_t>(count));
+  for (auto& b : blocks) {
+    b.resize(size);
+    for (auto& byte : b) byte = static_cast<uint8_t>(rng.uniform(256));
+  }
+  return blocks;
+}
+
+std::vector<BlockView> views(const std::vector<std::vector<uint8_t>>& blocks) {
+  std::vector<BlockView> v;
+  v.reserve(blocks.size());
+  for (const auto& b : blocks) v.emplace_back(b);
+  return v;
+}
+
+std::vector<MutBlockView> mut_views(std::vector<std::vector<uint8_t>>& blocks) {
+  std::vector<MutBlockView> v;
+  v.reserve(blocks.size());
+  for (auto& b : blocks) v.emplace_back(b);
+  return v;
+}
+
+TEST(RSCode, GeneratorIsSystematic) {
+  for (const auto construction :
+       {Construction::kVandermonde, Construction::kCauchy}) {
+    const RSCode code(14, 10, construction);
+    const Matrix& g = code.generator();
+    ASSERT_EQ(g.rows(), 14);
+    ASSERT_EQ(g.cols(), 10);
+    for (int r = 0; r < 10; ++r) {
+      for (int c = 0; c < 10; ++c) {
+        EXPECT_EQ(g.at(r, c), r == c ? 1 : 0);
+      }
+    }
+  }
+}
+
+TEST(RSCode, EncodeDeterministic) {
+  Rng rng(21);
+  const RSCode code(6, 4);
+  auto data = random_blocks(4, 257, rng);
+  std::vector<std::vector<uint8_t>> p1(2, std::vector<uint8_t>(257));
+  std::vector<std::vector<uint8_t>> p2(2, std::vector<uint8_t>(257));
+  auto v1 = mut_views(p1);
+  auto v2 = mut_views(p2);
+  code.encode(views(data), v1);
+  code.encode(views(data), v2);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(RSCode, ParityIsNotTriviallyZero) {
+  Rng rng(22);
+  const RSCode code(6, 4);
+  auto data = random_blocks(4, 64, rng);
+  std::vector<std::vector<uint8_t>> parity(2, std::vector<uint8_t>(64));
+  auto pv = mut_views(parity);
+  code.encode(views(data), pv);
+  for (const auto& p : parity) {
+    bool all_zero = true;
+    for (const uint8_t b : p) {
+      if (b != 0) all_zero = false;
+    }
+    EXPECT_FALSE(all_zero);
+  }
+}
+
+// Property test: any k of the n blocks reconstruct the data, across code
+// parameters and both constructions.
+class RSAnyK : public ::testing::TestWithParam<std::tuple<int, int, Construction>> {};
+
+TEST_P(RSAnyK, AnyKBlocksReconstructData) {
+  const auto [n, k, construction] = GetParam();
+  if (k >= n) GTEST_SKIP() << "invalid combination in sweep grid";
+  const RSCode code(n, k, construction);
+  Rng rng(static_cast<uint64_t>(n * 1000 + k));
+
+  const size_t block_size = 113;
+  auto data = random_blocks(k, block_size, rng);
+  std::vector<std::vector<uint8_t>> parity(
+      static_cast<size_t>(n - k), std::vector<uint8_t>(block_size));
+  auto pv = mut_views(parity);
+  code.encode(views(data), pv);
+
+  // All blocks, indexed 0..n-1.
+  std::vector<std::vector<uint8_t>> all = data;
+  all.insert(all.end(), parity.begin(), parity.end());
+
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto picks64 = rng.sample_without_replacement(
+        static_cast<size_t>(n), static_cast<size_t>(k));
+    std::vector<int> ids(picks64.begin(), picks64.end());
+    std::vector<BlockView> available;
+    for (const int id : ids) {
+      available.emplace_back(all[static_cast<size_t>(id)]);
+    }
+    std::vector<std::vector<uint8_t>> out(
+        static_cast<size_t>(k), std::vector<uint8_t>(block_size));
+    auto ov = mut_views(out);
+    ASSERT_TRUE(code.decode_data(ids, available, ov));
+    EXPECT_EQ(out, data) << "erasure pattern trial " << trial;
+  }
+}
+
+std::string rs_param_name(
+    const ::testing::TestParamInfo<std::tuple<int, int, Construction>>& info) {
+  const int n = std::get<0>(info.param);
+  const int k = std::get<1>(info.param);
+  const Construction c = std::get<2>(info.param);
+  return "n" + std::to_string(n) + "_k" + std::to_string(k) +
+         (c == Construction::kCauchy ? "_cauchy" : "_vand");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RSAnyK,
+    ::testing::Combine(::testing::Values(5, 6, 8, 10, 12, 14, 16),
+                       ::testing::Values(3, 4, 6, 8, 10, 12),
+                       ::testing::Values(Construction::kVandermonde,
+                                         Construction::kCauchy)),
+    rs_param_name);
+
+TEST(RSCode, ReconstructSpecificParityBlock) {
+  Rng rng(23);
+  const RSCode code(9, 6);
+  const size_t block_size = 97;
+  auto data = random_blocks(6, block_size, rng);
+  std::vector<std::vector<uint8_t>> parity(3, std::vector<uint8_t>(block_size));
+  auto pv = mut_views(parity);
+  code.encode(views(data), pv);
+
+  // Lose parity block 1 (stripe index 7); rebuild it from blocks 0..5.
+  std::vector<int> ids{0, 1, 2, 3, 4, 5};
+  auto available = views(data);
+  std::vector<std::vector<uint8_t>> rebuilt(1,
+                                            std::vector<uint8_t>(block_size));
+  auto rv = mut_views(rebuilt);
+  ASSERT_TRUE(code.reconstruct(ids, available, {7}, rv));
+  EXPECT_EQ(rebuilt[0], parity[1]);
+}
+
+TEST(RSCode, ReconstructFromMixOfDataAndParity) {
+  Rng rng(24);
+  const RSCode code(8, 5, Construction::kVandermonde);
+  const size_t block_size = 41;
+  auto data = random_blocks(5, block_size, rng);
+  std::vector<std::vector<uint8_t>> parity(3, std::vector<uint8_t>(block_size));
+  auto pv = mut_views(parity);
+  code.encode(views(data), pv);
+
+  // Available: data 1, 4 and parity 5, 6, 7. Rebuild data 0, 2, 3.
+  std::vector<int> ids{1, 4, 5, 6, 7};
+  std::vector<BlockView> available{data[1], data[4], parity[0], parity[1],
+                                   parity[2]};
+  std::vector<std::vector<uint8_t>> out(3, std::vector<uint8_t>(block_size));
+  auto ov = mut_views(out);
+  ASSERT_TRUE(code.reconstruct(ids, available, {0, 2, 3}, ov));
+  EXPECT_EQ(out[0], data[0]);
+  EXPECT_EQ(out[1], data[2]);
+  EXPECT_EQ(out[2], data[3]);
+}
+
+TEST(RSCode, SingleFailureRepairMatchesOriginal) {
+  Rng rng(25);
+  const RSCode code(14, 10);
+  const size_t block_size = 128;
+  auto data = random_blocks(10, block_size, rng);
+  std::vector<std::vector<uint8_t>> parity(4, std::vector<uint8_t>(block_size));
+  auto pv = mut_views(parity);
+  code.encode(views(data), pv);
+  std::vector<std::vector<uint8_t>> all = data;
+  all.insert(all.end(), parity.begin(), parity.end());
+
+  for (int lost = 0; lost < 14; ++lost) {
+    std::vector<int> ids;
+    std::vector<BlockView> available;
+    for (int i = 0; i < 14 && static_cast<int>(ids.size()) < 10; ++i) {
+      if (i == lost) continue;
+      ids.push_back(i);
+      available.emplace_back(all[static_cast<size_t>(i)]);
+    }
+    std::vector<std::vector<uint8_t>> rebuilt(
+        1, std::vector<uint8_t>(block_size));
+    auto rv = mut_views(rebuilt);
+    ASSERT_TRUE(code.reconstruct(ids, available, {lost}, rv));
+    EXPECT_EQ(rebuilt[0], all[static_cast<size_t>(lost)]) << "lost=" << lost;
+  }
+}
+
+TEST(RSCode, EmptyBlocksAreHandled) {
+  const RSCode code(4, 2);
+  std::vector<std::vector<uint8_t>> data(2), parity(2);
+  auto pv = mut_views(parity);
+  code.encode(views(data), pv);
+  EXPECT_TRUE(parity[0].empty());
+}
+
+}  // namespace
+}  // namespace ear::erasure

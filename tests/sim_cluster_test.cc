@@ -1,0 +1,125 @@
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace ear::sim {
+namespace {
+
+SimConfig small_config(bool use_ear, uint64_t seed = 7) {
+  SimConfig cfg;
+  cfg.racks = 8;
+  cfg.nodes_per_rack = 4;
+  cfg.placement.code = CodeParams{8, 6};
+  cfg.placement.replication = 3;
+  cfg.placement.c = 1;
+  cfg.use_ear = use_ear;
+  cfg.block_size = 8_MB;
+  cfg.write_rate = 0.5;
+  cfg.background_rate = 0.5;
+  cfg.background_mean_size = 8_MB;
+  cfg.encode_start = 10.0;
+  cfg.encode_processes = 4;
+  cfg.stripes_per_process = 5;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ClusterSim, RunsToCompletion) {
+  ClusterSim sim(small_config(true));
+  const SimResult result = sim.run();
+  EXPECT_EQ(result.stripes_encoded, 20);
+  EXPECT_GT(result.encode_end, result.encode_begin);
+  EXPECT_GT(result.encode_throughput_mbps, 0.0);
+  EXPECT_GT(result.writes_completed, 0);
+  EXPECT_EQ(result.stripe_completions.size(), 20u);
+  // Completion curve is monotone.
+  for (size_t i = 1; i < result.stripe_completions.size(); ++i) {
+    EXPECT_GE(result.stripe_completions[i].first,
+              result.stripe_completions[i - 1].first);
+    EXPECT_EQ(result.stripe_completions[i].second, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(ClusterSim, EarHasZeroCrossRackDownloads) {
+  ClusterSim sim(small_config(true));
+  const SimResult result = sim.run();
+  EXPECT_EQ(result.encoding_cross_rack_downloads, 0);
+}
+
+TEST(ClusterSim, RrHasManyCrossRackDownloads) {
+  ClusterSim sim(small_config(false));
+  const SimResult result = sim.run();
+  // Expectation ~ k(1 - 2/R) = 6 * 0.75 = 4.5 per stripe; with 20 stripes
+  // anything below 40 would be suspicious.
+  EXPECT_GT(result.encoding_cross_rack_downloads, 40);
+}
+
+TEST(ClusterSim, EarEncodesFasterThanRr) {
+  const SimResult ear = ClusterSim(small_config(true)).run();
+  const SimResult rr = ClusterSim(small_config(false)).run();
+  EXPECT_GT(ear.encode_throughput_mbps, rr.encode_throughput_mbps);
+}
+
+TEST(ClusterSim, EarUsesLessCrossRackBandwidth) {
+  const SimResult ear = ClusterSim(small_config(true)).run();
+  const SimResult rr = ClusterSim(small_config(false)).run();
+  EXPECT_LT(ear.cross_rack_bytes, rr.cross_rack_bytes);
+}
+
+TEST(ClusterSim, DeterministicForFixedSeed) {
+  const SimResult a = ClusterSim(small_config(true, 99)).run();
+  const SimResult b = ClusterSim(small_config(true, 99)).run();
+  EXPECT_DOUBLE_EQ(a.encode_throughput_mbps, b.encode_throughput_mbps);
+  EXPECT_DOUBLE_EQ(a.encode_end, b.encode_end);
+  EXPECT_EQ(a.writes_completed, b.writes_completed);
+  EXPECT_EQ(a.cross_rack_bytes, b.cross_rack_bytes);
+}
+
+TEST(ClusterSim, DifferentSeedsDiffer) {
+  const SimResult a = ClusterSim(small_config(true, 1)).run();
+  const SimResult b = ClusterSim(small_config(true, 2)).run();
+  EXPECT_NE(a.encode_end, b.encode_end);
+}
+
+TEST(ClusterSim, RelocationAblationChargesRrOnly) {
+  auto rr_cfg = small_config(false);
+  rr_cfg.simulate_relocation = true;
+  const SimResult rr = ClusterSim(rr_cfg).run();
+  EXPECT_GT(rr.relocations, 0) << "RR should need relocations in 8 racks";
+  EXPECT_EQ(rr.relocation_bytes, rr.relocations * rr_cfg.block_size);
+
+  auto ear_cfg = small_config(true);
+  ear_cfg.simulate_relocation = true;
+  const SimResult ear = ClusterSim(ear_cfg).run();
+  EXPECT_EQ(ear.relocations, 0) << "EAR layouts comply by construction";
+}
+
+TEST(ClusterSim, WritesBeforeEncodingAreFasterThanDuring) {
+  auto cfg = small_config(true);
+  cfg.encode_start = 60.0;
+  cfg.write_rate = 1.0;
+  const SimResult result = ClusterSim(cfg).run();
+  ASSERT_GT(result.write_response_before.count(), 0u);
+  ASSERT_GT(result.write_response_during.count(), 0u);
+  EXPECT_LT(result.write_response_before.mean(),
+            result.write_response_during.mean());
+}
+
+TEST(ClusterSim, NoWriteTrafficStillEncodes) {
+  auto cfg = small_config(true);
+  cfg.write_rate = 0.0;
+  cfg.background_rate = 0.0;
+  const SimResult result = ClusterSim(cfg).run();
+  EXPECT_EQ(result.stripes_encoded, 20);
+  EXPECT_EQ(result.writes_completed, 0);
+}
+
+TEST(ClusterSim, MeanLayoutIterationsReportedForEar) {
+  const SimResult ear = ClusterSim(small_config(true)).run();
+  EXPECT_GE(ear.mean_layout_iterations, 1.0);
+  const SimResult rr = ClusterSim(small_config(false)).run();
+  EXPECT_EQ(rr.mean_layout_iterations, 0.0);
+}
+
+}  // namespace
+}  // namespace ear::sim

@@ -1,0 +1,99 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ear::sim {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.events_executed(), 3u);
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  double fired_at = -1;
+  e.schedule_at(5.0, [&] {
+    e.schedule_in(2.5, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  const EventId id = e.schedule_at(1.0, [&] { ran = true; });
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(e.events_executed(), 0u);
+}
+
+TEST(Engine, CancelIsIdempotentAndSafeAfterRun) {
+  Engine e;
+  const EventId id = e.schedule_at(1.0, [] {});
+  e.run();
+  e.cancel(id);  // already executed: no-op
+  e.cancel(id);
+  SUCCEED();
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine e;
+  std::vector<double> fired;
+  e.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  e.schedule_at(2.0, [&] { fired.push_back(2.0); });
+  e.schedule_at(3.0, [&] { fired.push_back(3.0); });
+  e.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  e.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Engine, EventsScheduledFromCallbacksRun) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) e.schedule_in(1.0, recurse);
+  };
+  e.schedule_at(0.0, recurse);
+  e.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(e.now(), 9.0);
+}
+
+TEST(Engine, PendingCountTracksCalendar) {
+  Engine e;
+  EXPECT_FALSE(e.has_pending());
+  const EventId a = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.pending_count(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending_count(), 1u);
+  e.run();
+  EXPECT_FALSE(e.has_pending());
+}
+
+}  // namespace
+}  // namespace ear::sim

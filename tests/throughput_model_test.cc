@@ -1,0 +1,106 @@
+// Cross-validation: the closed-form encode-duration model must match the
+// discrete-event simulator in idle-network conditions.
+#include "analysis/throughput_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+
+namespace ear::analysis {
+namespace {
+
+sim::SimConfig idle_config(bool use_ear) {
+  sim::SimConfig cfg;
+  cfg.racks = 12;
+  cfg.nodes_per_rack = 1;  // single-node racks: EAR reads all k locally
+  cfg.placement.code = CodeParams{10, 8};
+  cfg.placement.replication = 2;
+  cfg.use_ear = use_ear;
+  cfg.block_size = 32_MB;
+  cfg.write_rate = 0;
+  cfg.background_rate = 0;
+  cfg.encode_start = 0.0;
+  cfg.encode_processes = 4;
+  cfg.stripes_per_process = 6;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(ThroughputModel, RrCrossDownloadFormula) {
+  EXPECT_NEAR(rr_expected_cross_downloads(10, 20), 9.0, 1e-12);
+  EXPECT_NEAR(rr_expected_cross_downloads(8, 12), 8.0 * (1 - 2.0 / 12),
+              1e-12);
+  EXPECT_NEAR(rr_expected_cross_downloads(4, 2), 0.0, 1e-12);
+}
+
+TEST(ThroughputModel, EarPredictionMatchesIdleSimulator) {
+  const auto cfg = idle_config(true);
+  const sim::SimResult result = sim::ClusterSim(cfg).run();
+
+  EncodeModelInput model;
+  model.code = cfg.placement.code;
+  model.racks = cfg.racks;
+  model.block_size = cfg.block_size;
+  model.node_bw = cfg.net.node_bw;
+  model.stripes_per_process = cfg.stripes_per_process;
+  model.local_blocks = cfg.placement.code.k;  // single-node core racks
+
+  const double predicted = predicted_encode_seconds(model);
+  const double simulated = result.encode_end - result.encode_begin;
+  // EAR in an idle network: the model should be nearly exact.
+  EXPECT_NEAR(simulated, predicted, predicted * 0.15);
+}
+
+TEST(ThroughputModel, RrPredictionIsALowerBound) {
+  const auto cfg = idle_config(false);
+  const sim::SimResult result = sim::ClusterSim(cfg).run();
+
+  EncodeModelInput model;
+  model.code = cfg.placement.code;
+  model.racks = cfg.racks;
+  model.block_size = cfg.block_size;
+  model.node_bw = cfg.net.node_bw;
+  model.stripes_per_process = cfg.stripes_per_process;
+  // RR: on average 2/R of the k blocks have a rack-local (here: node-local)
+  // replica.
+  model.local_blocks = cfg.placement.code.k -
+                       rr_expected_cross_downloads(cfg.placement.code.k,
+                                                   cfg.racks);
+
+  const double predicted = predicted_encode_seconds(model);
+  const double simulated = result.encode_end - result.encode_begin;
+  EXPECT_GE(simulated, predicted * 0.95)
+      << "the contention-free model must lower-bound the simulator";
+  // And it should not be absurdly loose in a lightly-loaded cluster.
+  EXPECT_LE(simulated, predicted * 3.0);
+}
+
+TEST(ThroughputModel, ThroughputInverseToDuration) {
+  EncodeModelInput model;
+  model.code = CodeParams{14, 10};
+  model.block_size = 64_MB;
+  model.node_bw = gbps(1);
+  model.stripes_per_process = 10;
+  model.local_blocks = 10;
+  const double thpt1 = predicted_encode_throughput_mbps(model, 10);
+  const double thpt2 = predicted_encode_throughput_mbps(model, 20);
+  // Independent processes: throughput scales with the fleet.
+  EXPECT_NEAR(thpt2, 2 * thpt1, 1e-9);
+}
+
+TEST(ThroughputModel, DiskBoundWhenDiskSlower) {
+  EncodeModelInput model;
+  model.code = CodeParams{10, 8};
+  model.block_size = 64_MB;
+  model.node_bw = gbps(1);
+  model.stripes_per_process = 1;
+  model.local_blocks = 8;
+
+  const double free_disk = predicted_encode_seconds(model);
+  model.disk_bw = gbps(0.5);
+  const double slow_disk = predicted_encode_seconds(model);
+  EXPECT_GT(slow_disk, free_disk);
+}
+
+}  // namespace
+}  // namespace ear::analysis

@@ -1,0 +1,60 @@
+#include "topology/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace ear {
+namespace {
+
+TEST(Topology, HomogeneousLayout) {
+  const Topology topo(5, 6);
+  EXPECT_EQ(topo.rack_count(), 5);
+  EXPECT_EQ(topo.node_count(), 30);
+  for (RackId r = 0; r < 5; ++r) {
+    EXPECT_EQ(topo.rack_size(r), 6);
+    EXPECT_EQ(topo.rack_first_node(r), r * 6);
+  }
+  EXPECT_EQ(topo.rack_of(0), 0);
+  EXPECT_EQ(topo.rack_of(5), 0);
+  EXPECT_EQ(topo.rack_of(6), 1);
+  EXPECT_EQ(topo.rack_of(29), 4);
+}
+
+TEST(Topology, HeterogeneousLayout) {
+  const Topology topo(std::vector<int>{2, 5, 1});
+  EXPECT_EQ(topo.rack_count(), 3);
+  EXPECT_EQ(topo.node_count(), 8);
+  EXPECT_EQ(topo.rack_size(0), 2);
+  EXPECT_EQ(topo.rack_size(1), 5);
+  EXPECT_EQ(topo.rack_size(2), 1);
+  EXPECT_EQ(topo.rack_of(1), 0);
+  EXPECT_EQ(topo.rack_of(2), 1);
+  EXPECT_EQ(topo.rack_of(7), 2);
+  EXPECT_EQ(topo.rack_first_node(2), 7);
+}
+
+TEST(Topology, NodesInRackAreContiguous) {
+  const Topology topo(4, 3);
+  const auto nodes = topo.nodes_in_rack(2);
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0], 6);
+  EXPECT_EQ(nodes[1], 7);
+  EXPECT_EQ(nodes[2], 8);
+  for (const NodeId n : nodes) EXPECT_EQ(topo.rack_of(n), 2);
+}
+
+TEST(Topology, SameRackPredicate) {
+  const Topology topo(3, 4);
+  EXPECT_TRUE(topo.same_rack(0, 3));
+  EXPECT_FALSE(topo.same_rack(3, 4));
+  EXPECT_TRUE(topo.same_rack(8, 11));
+}
+
+TEST(Topology, SingleNodeRacksMatchPaperTestbed) {
+  // The paper's testbed: 12 racks with one DataNode each.
+  const Topology topo(12, 1);
+  EXPECT_EQ(topo.node_count(), 12);
+  for (NodeId n = 0; n < 12; ++n) EXPECT_EQ(topo.rack_of(n), n);
+}
+
+}  // namespace
+}  // namespace ear

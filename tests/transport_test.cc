@@ -1,0 +1,106 @@
+#include "cfs/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace ear::cfs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double timed(const std::function<void()>& fn) {
+  const auto start = Clock::now();
+  fn();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+TEST(InstantTransport, CountsBytesByLocality) {
+  const Topology topo(3, 2);
+  InstantTransport t(topo);
+  t.transfer(0, 1, 100);  // intra
+  t.transfer(0, 2, 200);  // cross
+  t.transfer(4, 4, 999);  // local: free
+  EXPECT_EQ(t.intra_rack_bytes(), 100);
+  EXPECT_EQ(t.cross_rack_bytes(), 200);
+}
+
+TEST(ThrottledTransport, SingleTransferTakesExpectedTime) {
+  const Topology topo(2, 2);
+  ThrottleConfig cfg;
+  cfg.node_bw = 10e6;  // 10 MB/s
+  cfg.rack_uplink_bw = 10e6;
+  cfg.chunk_size = 64_KB;
+  ThrottledTransport t(topo, cfg);
+  // 1 MB at 10 MB/s = 0.1 s.
+  const double elapsed = timed([&] { t.transfer(0, 2, 1_MB); });
+  EXPECT_GT(elapsed, 0.08);
+  EXPECT_LT(elapsed, 0.25);
+  EXPECT_EQ(t.cross_rack_bytes(), 1_MB);
+}
+
+TEST(ThrottledTransport, LocalTransferIsFree) {
+  const Topology topo(2, 2);
+  ThrottleConfig cfg;
+  cfg.node_bw = 1e6;
+  cfg.rack_uplink_bw = 1e6;
+  ThrottledTransport t(topo, cfg);
+  const double elapsed = timed([&] { t.transfer(1, 1, 100_MB); });
+  EXPECT_LT(elapsed, 0.01);
+}
+
+TEST(ThrottledTransport, ContendingTransfersShareALink) {
+  const Topology topo(2, 2);
+  ThrottleConfig cfg;
+  cfg.node_bw = 20e6;
+  cfg.rack_uplink_bw = 20e6;
+  cfg.chunk_size = 64_KB;
+  ThrottledTransport t(topo, cfg);
+
+  // Alone: 1 MB through node 0's uplink at 20 MB/s = 50 ms.
+  const double alone = timed([&] { t.transfer(0, 1, 1_MB); });
+
+  // Two concurrent transfers out of node 0 share its uplink: ~2x slower.
+  std::vector<std::thread> threads;
+  const double together = timed([&] {
+    threads.emplace_back([&] { t.transfer(0, 1, 1_MB); });
+    threads.emplace_back([&] { t.transfer(0, 2, 1_MB); });
+    for (auto& th : threads) th.join();
+  });
+  EXPECT_GT(together, alone * 1.5);
+}
+
+TEST(ThrottledTransport, DisjointPathsDoNotContend) {
+  const Topology topo(4, 2);
+  ThrottleConfig cfg;
+  cfg.node_bw = 20e6;
+  cfg.rack_uplink_bw = 20e6;
+  cfg.chunk_size = 64_KB;
+  ThrottledTransport t(topo, cfg);
+
+  const double alone = timed([&] { t.transfer(0, 1, 1_MB); });
+  std::vector<std::thread> threads;
+  const double together = timed([&] {
+    threads.emplace_back([&] { t.transfer(2, 3, 1_MB); });
+    threads.emplace_back([&] { t.transfer(4, 5, 1_MB); });
+    for (auto& th : threads) th.join();
+  });
+  EXPECT_LT(together, alone * 1.8) << "disjoint paths should run in parallel";
+}
+
+TEST(ThrottledTransport, OversubscribedCoreSlowsCrossRackOnly) {
+  const Topology topo(2, 4);
+  ThrottleConfig cfg;
+  cfg.node_bw = 40e6;
+  cfg.rack_uplink_bw = 10e6;  // 4:1 oversubscription
+  cfg.chunk_size = 64_KB;
+  ThrottledTransport t(topo, cfg);
+  const double intra = timed([&] { t.transfer(0, 1, 1_MB); });
+  const double cross = timed([&] { t.transfer(0, 4, 1_MB); });
+  EXPECT_GT(cross, intra * 2.0);
+}
+
+}  // namespace
+}  // namespace ear::cfs
