@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ear.dir/bench_ablation_ear.cc.o"
+  "CMakeFiles/bench_ablation_ear.dir/bench_ablation_ear.cc.o.d"
+  "bench_ablation_ear"
+  "bench_ablation_ear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_jobtracker.dir/bench_ablation_jobtracker.cc.o"
+  "CMakeFiles/bench_ablation_jobtracker.dir/bench_ablation_jobtracker.cc.o.d"
+  "bench_ablation_jobtracker"
+  "bench_ablation_jobtracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_jobtracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

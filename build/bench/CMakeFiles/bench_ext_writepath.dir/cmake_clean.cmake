@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_writepath.dir/bench_ext_writepath.cc.o"
+  "CMakeFiles/bench_ext_writepath.dir/bench_ext_writepath.cc.o.d"
+  "bench_ext_writepath"
+  "bench_ext_writepath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_writepath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_violation.dir/bench_fig03_violation.cc.o"
+  "CMakeFiles/bench_fig03_violation.dir/bench_fig03_violation.cc.o.d"
+  "bench_fig03_violation"
+  "bench_fig03_violation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_violation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

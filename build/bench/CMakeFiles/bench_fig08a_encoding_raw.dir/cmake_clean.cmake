@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08a_encoding_raw.dir/bench_fig08a_encoding_raw.cc.o"
+  "CMakeFiles/bench_fig08a_encoding_raw.dir/bench_fig08a_encoding_raw.cc.o.d"
+  "bench_fig08a_encoding_raw"
+  "bench_fig08a_encoding_raw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08a_encoding_raw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_mapreduce.dir/bench_fig10_mapreduce.cc.o"
+  "CMakeFiles/bench_fig10_mapreduce.dir/bench_fig10_mapreduce.cc.o.d"
+  "bench_fig10_mapreduce"
+  "bench_fig10_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

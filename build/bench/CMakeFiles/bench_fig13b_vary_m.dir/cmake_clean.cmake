@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13b_vary_m.dir/bench_fig13b_vary_m.cc.o"
+  "CMakeFiles/bench_fig13b_vary_m.dir/bench_fig13b_vary_m.cc.o.d"
+  "bench_fig13b_vary_m"
+  "bench_fig13b_vary_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13b_vary_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13d_vary_writerate.dir/bench_fig13d_vary_writerate.cc.o"
+  "CMakeFiles/bench_fig13d_vary_writerate.dir/bench_fig13d_vary_writerate.cc.o.d"
+  "bench_fig13d_vary_writerate"
+  "bench_fig13d_vary_writerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13d_vary_writerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13f_vary_replicas.dir/bench_fig13f_vary_replicas.cc.o"
+  "CMakeFiles/bench_fig13f_vary_replicas.dir/bench_fig13f_vary_replicas.cc.o.d"
+  "bench_fig13f_vary_replicas"
+  "bench_fig13f_vary_replicas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13f_vary_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

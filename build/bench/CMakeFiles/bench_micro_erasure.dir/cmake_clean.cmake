@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_erasure.dir/bench_micro_erasure.cc.o"
+  "CMakeFiles/bench_micro_erasure.dir/bench_micro_erasure.cc.o.d"
+  "bench_micro_erasure"
+  "bench_micro_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

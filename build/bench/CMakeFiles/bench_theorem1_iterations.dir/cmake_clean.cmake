@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem1_iterations.dir/bench_theorem1_iterations.cc.o"
+  "CMakeFiles/bench_theorem1_iterations.dir/bench_theorem1_iterations.cc.o.d"
+  "bench_theorem1_iterations"
+  "bench_theorem1_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem1_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

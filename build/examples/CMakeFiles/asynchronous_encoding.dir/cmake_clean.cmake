@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asynchronous_encoding.dir/asynchronous_encoding.cpp.o"
+  "CMakeFiles/asynchronous_encoding.dir/asynchronous_encoding.cpp.o.d"
+  "asynchronous_encoding"
+  "asynchronous_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asynchronous_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

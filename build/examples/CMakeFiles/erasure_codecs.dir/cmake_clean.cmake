@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erasure_codecs.dir/erasure_codecs.cpp.o"
+  "CMakeFiles/erasure_codecs.dir/erasure_codecs.cpp.o.d"
+  "erasure_codecs"
+  "erasure_codecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erasure_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

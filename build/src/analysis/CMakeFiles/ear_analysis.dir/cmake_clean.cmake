@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_analysis.dir/availability.cc.o"
+  "CMakeFiles/ear_analysis.dir/availability.cc.o.d"
+  "CMakeFiles/ear_analysis.dir/balance.cc.o"
+  "CMakeFiles/ear_analysis.dir/balance.cc.o.d"
+  "CMakeFiles/ear_analysis.dir/throughput_model.cc.o"
+  "CMakeFiles/ear_analysis.dir/throughput_model.cc.o.d"
+  "libear_analysis.a"
+  "libear_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

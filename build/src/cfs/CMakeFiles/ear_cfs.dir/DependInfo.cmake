@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfs/checkpoint.cc" "src/cfs/CMakeFiles/ear_cfs.dir/checkpoint.cc.o" "gcc" "src/cfs/CMakeFiles/ear_cfs.dir/checkpoint.cc.o.d"
+  "/root/repo/src/cfs/filesystem.cc" "src/cfs/CMakeFiles/ear_cfs.dir/filesystem.cc.o" "gcc" "src/cfs/CMakeFiles/ear_cfs.dir/filesystem.cc.o.d"
+  "/root/repo/src/cfs/inline_ec.cc" "src/cfs/CMakeFiles/ear_cfs.dir/inline_ec.cc.o" "gcc" "src/cfs/CMakeFiles/ear_cfs.dir/inline_ec.cc.o.d"
+  "/root/repo/src/cfs/minicfs.cc" "src/cfs/CMakeFiles/ear_cfs.dir/minicfs.cc.o" "gcc" "src/cfs/CMakeFiles/ear_cfs.dir/minicfs.cc.o.d"
+  "/root/repo/src/cfs/raidnode.cc" "src/cfs/CMakeFiles/ear_cfs.dir/raidnode.cc.o" "gcc" "src/cfs/CMakeFiles/ear_cfs.dir/raidnode.cc.o.d"
+  "/root/repo/src/cfs/recovery.cc" "src/cfs/CMakeFiles/ear_cfs.dir/recovery.cc.o" "gcc" "src/cfs/CMakeFiles/ear_cfs.dir/recovery.cc.o.d"
+  "/root/repo/src/cfs/transport.cc" "src/cfs/CMakeFiles/ear_cfs.dir/transport.cc.o" "gcc" "src/cfs/CMakeFiles/ear_cfs.dir/transport.cc.o.d"
+  "/root/repo/src/cfs/workload.cc" "src/cfs/CMakeFiles/ear_cfs.dir/workload.cc.o" "gcc" "src/cfs/CMakeFiles/ear_cfs.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/placement/CMakeFiles/ear_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/ear_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ear_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ear_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ear_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf256/CMakeFiles/ear_gf256.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

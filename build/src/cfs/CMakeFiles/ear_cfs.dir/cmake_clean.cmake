@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_cfs.dir/checkpoint.cc.o"
+  "CMakeFiles/ear_cfs.dir/checkpoint.cc.o.d"
+  "CMakeFiles/ear_cfs.dir/filesystem.cc.o"
+  "CMakeFiles/ear_cfs.dir/filesystem.cc.o.d"
+  "CMakeFiles/ear_cfs.dir/inline_ec.cc.o"
+  "CMakeFiles/ear_cfs.dir/inline_ec.cc.o.d"
+  "CMakeFiles/ear_cfs.dir/minicfs.cc.o"
+  "CMakeFiles/ear_cfs.dir/minicfs.cc.o.d"
+  "CMakeFiles/ear_cfs.dir/raidnode.cc.o"
+  "CMakeFiles/ear_cfs.dir/raidnode.cc.o.d"
+  "CMakeFiles/ear_cfs.dir/recovery.cc.o"
+  "CMakeFiles/ear_cfs.dir/recovery.cc.o.d"
+  "CMakeFiles/ear_cfs.dir/transport.cc.o"
+  "CMakeFiles/ear_cfs.dir/transport.cc.o.d"
+  "CMakeFiles/ear_cfs.dir/workload.cc.o"
+  "CMakeFiles/ear_cfs.dir/workload.cc.o.d"
+  "libear_cfs.a"
+  "libear_cfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_cfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_common.dir/stats.cc.o"
+  "CMakeFiles/ear_common.dir/stats.cc.o.d"
+  "libear_common.a"
+  "libear_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/erasure/crs.cc" "src/erasure/CMakeFiles/ear_erasure.dir/crs.cc.o" "gcc" "src/erasure/CMakeFiles/ear_erasure.dir/crs.cc.o.d"
+  "/root/repo/src/erasure/lrc.cc" "src/erasure/CMakeFiles/ear_erasure.dir/lrc.cc.o" "gcc" "src/erasure/CMakeFiles/ear_erasure.dir/lrc.cc.o.d"
+  "/root/repo/src/erasure/matrix.cc" "src/erasure/CMakeFiles/ear_erasure.dir/matrix.cc.o" "gcc" "src/erasure/CMakeFiles/ear_erasure.dir/matrix.cc.o.d"
+  "/root/repo/src/erasure/rs.cc" "src/erasure/CMakeFiles/ear_erasure.dir/rs.cc.o" "gcc" "src/erasure/CMakeFiles/ear_erasure.dir/rs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf256/CMakeFiles/ear_gf256.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_erasure.dir/crs.cc.o"
+  "CMakeFiles/ear_erasure.dir/crs.cc.o.d"
+  "CMakeFiles/ear_erasure.dir/lrc.cc.o"
+  "CMakeFiles/ear_erasure.dir/lrc.cc.o.d"
+  "CMakeFiles/ear_erasure.dir/matrix.cc.o"
+  "CMakeFiles/ear_erasure.dir/matrix.cc.o.d"
+  "CMakeFiles/ear_erasure.dir/rs.cc.o"
+  "CMakeFiles/ear_erasure.dir/rs.cc.o.d"
+  "libear_erasure.a"
+  "libear_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

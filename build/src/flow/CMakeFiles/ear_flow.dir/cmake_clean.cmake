@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_flow.dir/maxflow.cc.o"
+  "CMakeFiles/ear_flow.dir/maxflow.cc.o.d"
+  "libear_flow.a"
+  "libear_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_gf256.dir/gf256.cc.o"
+  "CMakeFiles/ear_gf256.dir/gf256.cc.o.d"
+  "libear_gf256.a"
+  "libear_gf256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_gf256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libear_gf256.a"
+)

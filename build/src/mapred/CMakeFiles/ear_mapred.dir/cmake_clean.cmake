@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_mapred.dir/encoding_job.cc.o"
+  "CMakeFiles/ear_mapred.dir/encoding_job.cc.o.d"
+  "CMakeFiles/ear_mapred.dir/mapreduce.cc.o"
+  "CMakeFiles/ear_mapred.dir/mapreduce.cc.o.d"
+  "CMakeFiles/ear_mapred.dir/swim.cc.o"
+  "CMakeFiles/ear_mapred.dir/swim.cc.o.d"
+  "libear_mapred.a"
+  "libear_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/ear.cc" "src/placement/CMakeFiles/ear_placement.dir/ear.cc.o" "gcc" "src/placement/CMakeFiles/ear_placement.dir/ear.cc.o.d"
+  "/root/repo/src/placement/monitor.cc" "src/placement/CMakeFiles/ear_placement.dir/monitor.cc.o" "gcc" "src/placement/CMakeFiles/ear_placement.dir/monitor.cc.o.d"
+  "/root/repo/src/placement/policy.cc" "src/placement/CMakeFiles/ear_placement.dir/policy.cc.o" "gcc" "src/placement/CMakeFiles/ear_placement.dir/policy.cc.o.d"
+  "/root/repo/src/placement/random_replication.cc" "src/placement/CMakeFiles/ear_placement.dir/random_replication.cc.o" "gcc" "src/placement/CMakeFiles/ear_placement.dir/random_replication.cc.o.d"
+  "/root/repo/src/placement/replica_layout.cc" "src/placement/CMakeFiles/ear_placement.dir/replica_layout.cc.o" "gcc" "src/placement/CMakeFiles/ear_placement.dir/replica_layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/ear_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ear_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

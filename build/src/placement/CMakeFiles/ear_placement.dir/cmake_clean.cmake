@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_placement.dir/ear.cc.o"
+  "CMakeFiles/ear_placement.dir/ear.cc.o.d"
+  "CMakeFiles/ear_placement.dir/monitor.cc.o"
+  "CMakeFiles/ear_placement.dir/monitor.cc.o.d"
+  "CMakeFiles/ear_placement.dir/policy.cc.o"
+  "CMakeFiles/ear_placement.dir/policy.cc.o.d"
+  "CMakeFiles/ear_placement.dir/random_replication.cc.o"
+  "CMakeFiles/ear_placement.dir/random_replication.cc.o.d"
+  "CMakeFiles/ear_placement.dir/replica_layout.cc.o"
+  "CMakeFiles/ear_placement.dir/replica_layout.cc.o.d"
+  "libear_placement.a"
+  "libear_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

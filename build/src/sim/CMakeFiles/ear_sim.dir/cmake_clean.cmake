@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_sim.dir/cluster.cc.o"
+  "CMakeFiles/ear_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/ear_sim.dir/engine.cc.o"
+  "CMakeFiles/ear_sim.dir/engine.cc.o.d"
+  "CMakeFiles/ear_sim.dir/metrics.cc.o"
+  "CMakeFiles/ear_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/ear_sim.dir/network.cc.o"
+  "CMakeFiles/ear_sim.dir/network.cc.o.d"
+  "libear_sim.a"
+  "libear_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_topology.dir/topology.cc.o"
+  "CMakeFiles/ear_topology.dir/topology.cc.o.d"
+  "libear_topology.a"
+  "libear_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

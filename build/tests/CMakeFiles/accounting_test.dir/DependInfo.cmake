@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accounting_test.cc" "tests/CMakeFiles/accounting_test.dir/accounting_test.cc.o" "gcc" "tests/CMakeFiles/accounting_test.dir/accounting_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfs/CMakeFiles/ear_cfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ear_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/ear_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/ear_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf256/CMakeFiles/ear_gf256.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/ear_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ear_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ear_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

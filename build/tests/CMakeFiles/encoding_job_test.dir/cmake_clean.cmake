@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoding_job_test.dir/encoding_job_test.cc.o"
+  "CMakeFiles/encoding_job_test.dir/encoding_job_test.cc.o.d"
+  "encoding_job_test"
+  "encoding_job_test.pdb"
+  "encoding_job_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoding_job_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

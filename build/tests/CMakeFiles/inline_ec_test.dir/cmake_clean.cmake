@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inline_ec_test.dir/inline_ec_test.cc.o"
+  "CMakeFiles/inline_ec_test.dir/inline_ec_test.cc.o.d"
+  "inline_ec_test"
+  "inline_ec_test.pdb"
+  "inline_ec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inline_ec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrc_test.dir/lrc_test.cc.o"
+  "CMakeFiles/lrc_test.dir/lrc_test.cc.o.d"
+  "lrc_test"
+  "lrc_test.pdb"
+  "lrc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

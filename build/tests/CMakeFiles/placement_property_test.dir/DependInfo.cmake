@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/placement_property_test.cc" "tests/CMakeFiles/placement_property_test.dir/placement_property_test.cc.o" "gcc" "tests/CMakeFiles/placement_property_test.dir/placement_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/placement/CMakeFiles/ear_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ear_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ear_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_fifo_test.dir/sim_fifo_test.cc.o"
+  "CMakeFiles/sim_fifo_test.dir/sim_fifo_test.cc.o.d"
+  "sim_fifo_test"
+  "sim_fifo_test.pdb"
+  "sim_fifo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_fifo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
