@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/obs_util.h"
 #include "bench/testbed_util.h"
 #include "common/stats.h"
 
@@ -15,6 +16,7 @@ int main(int argc, char** argv) {
   using namespace ear;
   const FlagParser flags(argc, argv);
   const int runs = static_cast<int>(flags.get_int("runs", 3));
+  const bench::ObsOutputs obs_out = bench::obs_from_flags(flags);
 
   bench::header("Figure 8(a)",
                 "raw encoding throughput vs (n,k), testbed, 2-way "
@@ -44,5 +46,5 @@ int main(int argc, char** argv) {
                ear_s.max(), 100.0 * (ear_s.mean() / rr.mean() - 1.0));
   }
   bench::note("paper: gain grows with k, 19.9% at k=4 to 59.7% at k=10");
-  return 0;
+  return bench::obs_export(obs_out);
 }

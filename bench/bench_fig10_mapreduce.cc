@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/obs_util.h"
 #include "mapred/mapreduce.h"
 #include "mapred/swim.h"
 #include "sim/network.h"
@@ -16,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace ear;
   const FlagParser flags(argc, argv);
+  const bench::ObsOutputs obs_out = bench::obs_from_flags(flags);
   const int jobs = static_cast<int>(flags.get_int("jobs", 50));
   const int racks = static_cast<int>(flags.get_int("racks", 12));
   const int nodes_per_rack = static_cast<int>(flags.get_int("nodes-per-rack", 1));
@@ -73,5 +75,5 @@ int main(int argc, char** argv) {
   bench::row("data-local maps: RR %.1f%%, EAR %.1f%%", locality[0],
              locality[1]);
   bench::note("paper: RR and EAR show very similar completion curves");
-  return 0;
+  return bench::obs_export(obs_out);
 }

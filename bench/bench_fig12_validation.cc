@@ -8,7 +8,9 @@
 //
 // Paper expectation: the simulator tracks the testbed closely (response-time
 // differences under ~5%).
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -16,6 +18,7 @@
 #include "cfs/workload.h"
 #include "erasure/rs.h"
 #include "sim/cluster.h"
+#include "sim/metrics.h"
 
 namespace {
 
@@ -62,6 +65,10 @@ int main(int argc, char** argv) {
   const Bytes block = static_cast<Bytes>(flags.get_int("block-bytes", 1_MB));
   const double bw = flags.get_double("node-bw", 10e6);
   const int stripes = static_cast<int>(flags.get_int("stripes", 24));
+  // --csv-out=<prefix> writes <prefix>_{rr,ear}_{stripes,responses}.csv from
+  // the simulator runs for external plotting.
+  const std::string csv_prefix = flags.get_string("csv-out");
+  int rc = 0;
 
   bench::header("Figure 12 / Table I",
                 "simulator validation against the MiniCfs testbed");
@@ -132,6 +139,22 @@ int main(int argc, char** argv) {
       simulated.encode_duration = result.encode_end - result.encode_begin;
       simulated.write_before = result.write_response_before.mean();
       simulated.write_during = result.write_response_during.mean();
+
+      if (!csv_prefix.empty()) {
+        const std::string base = csv_prefix + (use_ear ? "_ear" : "_rr");
+        const std::string stripe_path = base + "_stripes.csv";
+        if (!sim::write_stripe_completion_csv(result, stripe_path)) {
+          std::fprintf(stderr, "error: cannot write %s: %s\n",
+                       stripe_path.c_str(), std::strerror(errno));
+          rc = 1;
+        }
+        const std::string resp_path = base + "_responses.csv";
+        if (!sim::write_response_times_csv(result, resp_path)) {
+          std::fprintf(stderr, "error: cannot write %s: %s\n",
+                       resp_path.c_str(), std::strerror(errno));
+          rc = 1;
+        }
+      }
     }
 
     bench::row("---- %s ----", use_ear ? "EAR" : "RR");
@@ -153,5 +176,5 @@ int main(int argc, char** argv) {
                testbed.write_during, simulated.write_during);
   }
   bench::note("paper Table I: testbed-vs-simulation differences < 4.3%");
-  return 0;
+  return rc;
 }

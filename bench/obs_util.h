@@ -1,0 +1,66 @@
+// Observability wiring for the bench binaries.
+//
+//   --trace-out=<path>    enable tracing and write a Chrome trace_event JSON
+//                         (load in chrome://tracing or https://ui.perfetto.dev)
+//   --metrics-out=<path>  dump the metrics registry; ".txt" selects the plain
+//                         text format, anything else gets JSON
+//
+// Both default off, so an unflagged bench run pays only the disabled-path
+// cost (one relaxed atomic load per instrumentation site).
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/flags.h"
+#include "obs/export.h"
+#include "obs/obs.h"
+
+namespace ear::bench {
+
+struct ObsOutputs {
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+// Parses the obs flags and, if any output was requested, enables the
+// corresponding subsystems before the workload starts.
+inline ObsOutputs obs_from_flags(const FlagParser& flags) {
+  ObsOutputs out;
+  out.trace_path = flags.get_string("trace-out");
+  out.metrics_path = flags.get_string("metrics-out");
+  obs::Config cfg;
+  cfg.trace = !out.trace_path.empty();
+  cfg.metrics = cfg.trace || !out.metrics_path.empty();
+  if (cfg.metrics || cfg.trace) obs::init(cfg);
+  return out;
+}
+
+// Writes the requested dumps.  Returns 0 on success, 1 on I/O failure with a
+// strerror(errno) diagnostic on stderr — benches return this from main so a
+// failed export fails the run instead of being silently dropped.
+inline int obs_export(const ObsOutputs& out) {
+  int rc = 0;
+  if (!out.trace_path.empty() && !obs::write_chrome_trace(out.trace_path)) {
+    std::fprintf(stderr, "error: cannot write trace %s: %s\n",
+                 out.trace_path.c_str(), std::strerror(errno));
+    rc = 1;
+  }
+  if (!out.metrics_path.empty()) {
+    const bool text =
+        out.metrics_path.size() > 4 &&
+        out.metrics_path.compare(out.metrics_path.size() - 4, 4, ".txt") == 0;
+    const bool ok = text ? obs::write_metrics_text(out.metrics_path)
+                         : obs::write_metrics_json(out.metrics_path);
+    if (!ok) {
+      std::fprintf(stderr, "error: cannot write metrics %s: %s\n",
+                   out.metrics_path.c_str(), std::strerror(errno));
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace ear::bench

@@ -76,7 +76,9 @@ class Reader {
 std::vector<uint8_t> save_checkpoint(const MiniCfs& cfs) {
   const ClusterImage image = cfs.export_image();
   std::vector<uint8_t> out;
-  out.insert(out.end(), kMagic, kMagic + 8);
+  // Byte-wise append (not a range insert): GCC 12's -Wstringop-overflow
+  // false-positives on inserting a char array range into a fresh vector.
+  for (const char c : kMagic) out.push_back(static_cast<uint8_t>(c));
 
   // Config.
   put_i64(out, image.config.racks);

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "cfs/minicfs.h"
+#include "obs/trace.h"
 #include "placement/replica_layout.h"
 
 namespace ear::cfs {
@@ -16,6 +17,7 @@ namespace ear::cfs {
 StripeId MiniCfs::write_encoded_stripe(
     const std::vector<std::span<const uint8_t>>& data,
     std::optional<NodeId> writer) {
+  obs::Span span("cfs.write_encoded_stripe", "cfs");
   const int k = code_.k();
   const int n = code_.n();
   const int m = code_.m();

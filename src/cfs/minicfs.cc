@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.h"
 #include "placement/replica_layout.h"
 
 namespace ear::cfs {
@@ -21,7 +22,17 @@ MiniCfs::MiniCfs(const CfsConfig& config, std::unique_ptr<Transport> transport)
       code_(config.placement.code.n, config.placement.code.k,
             config.construction),
       node_alive_(static_cast<size_t>(topo_.node_count())),
-      rng_(config.seed ^ 0xdeadbeefULL) {
+      rng_(config.seed ^ 0xdeadbeefULL),
+      ctr_blocks_written_(
+          &obs::Registry::instance().counter("cfs.blocks_written")),
+      ctr_stripes_encoded_(
+          &obs::Registry::instance().counter("cfs.stripes_encoded")),
+      ctr_degraded_reads_(
+          &obs::Registry::instance().counter("cfs.degraded_reads")),
+      ctr_repairs_(&obs::Registry::instance().counter("cfs.blocks_repaired")),
+      hist_encode_s_(&obs::Registry::instance().histogram(
+          "cfs.encode_stripe_seconds",
+          {0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10, 30, 60})) {
   revive_all();
   datanodes_.reserve(static_cast<size_t>(topo_.node_count()));
   for (int i = 0; i < topo_.node_count(); ++i) {
@@ -63,6 +74,8 @@ BlockId MiniCfs::write_block(std::span<const uint8_t> data,
   if (static_cast<Bytes>(data.size()) != config_.block_size) {
     throw std::invalid_argument("write_block: data must be one block");
   }
+  obs::Span span("cfs.write_block", "cfs");
+  span.arg("bytes", config_.block_size);
 
   BlockPlacement placement;
   int position = 0;
@@ -99,6 +112,7 @@ BlockId MiniCfs::write_block(std::span<const uint8_t> data,
     meta.id = placement.stripe;
     meta.data_blocks.push_back(placement.block);
   }
+  ctr_blocks_written_->add();
   return placement.block;
 }
 
@@ -145,6 +159,9 @@ std::vector<uint8_t> MiniCfs::read_block(BlockId block, NodeId reader) {
   }
 
   // Degraded read: reconstruct from any k live blocks of the stripe.
+  obs::Span span("cfs.degraded_read", "cfs");
+  span.arg("block", block);
+  ctr_degraded_reads_->add();
   StripeId stripe;
   int wanted_pos;
   std::vector<BlockId> stripe_blocks;  // data then parity, stripe order
@@ -210,6 +227,9 @@ std::vector<StripeId> MiniCfs::sealed_stripes() const {
 
 void MiniCfs::encode_stripe(StripeId stripe,
                             std::optional<NodeId> encoder_override) {
+  obs::Span stripe_span("cfs.encode_stripe", "cfs");
+  stripe_span.arg("stripe", stripe);
+  const int64_t encode_begin_us = obs::now_us();
   EncodePlan plan;
   std::vector<BlockId> data_blocks;
   std::vector<std::vector<NodeId>> replica_sets;
@@ -235,6 +255,9 @@ void MiniCfs::encode_stripe(StripeId stripe,
   std::vector<std::vector<uint8_t>> data_bytes;
   data_bytes.reserve(static_cast<size_t>(k));
   {
+    obs::Span phase("cfs.encode.download", "cfs");
+    phase.arg("stripe", stripe);
+    phase.arg("encoder", plan.encoder);
     std::vector<std::thread> downloads;
     data_bytes.resize(static_cast<size_t>(k));
     std::atomic<bool> failed{false};
@@ -267,6 +290,8 @@ void MiniCfs::encode_stripe(StripeId stripe,
       static_cast<size_t>(m),
       std::vector<uint8_t>(static_cast<size_t>(config_.block_size)));
   {
+    obs::Span phase("cfs.encode.compute", "cfs");
+    phase.arg("stripe", stripe);
     std::vector<erasure::BlockView> data_views;
     for (const auto& b : data_bytes) data_views.emplace_back(b);
     std::vector<erasure::MutBlockView> parity_views;
@@ -282,6 +307,8 @@ void MiniCfs::encode_stripe(StripeId stripe,
     }
   }
   {
+    obs::Span phase("cfs.encode.upload", "cfs");
+    phase.arg("stripe", stripe);
     std::vector<std::thread> uploads;
     for (int j = 0; j < m; ++j) {
       uploads.emplace_back([this, &plan, &parity_ids, &parity_bytes, j] {
@@ -316,6 +343,9 @@ void MiniCfs::encode_stripe(StripeId stripe,
       block_stripe_pos_[parity_ids[static_cast<size_t>(j)]] = {stripe, k + j};
     }
   }
+  ctr_stripes_encoded_->add();
+  hist_encode_s_->record(
+      static_cast<double>(obs::now_us() - encode_begin_us) / 1e6);
 }
 
 bool MiniCfs::is_encoded(StripeId stripe) const {
@@ -352,6 +382,10 @@ bool MiniCfs::node_alive(NodeId node) const {
 }
 
 void MiniCfs::repair_block(BlockId block, NodeId target) {
+  obs::Span span("cfs.repair_block", "cfs");
+  span.arg("block", block);
+  span.arg("target", target);
+  ctr_repairs_->add();
   std::vector<uint8_t> bytes = read_block(block, target);
   store(target, block, std::move(bytes));
   std::lock_guard<std::mutex> lock(namenode_mu_);

@@ -28,6 +28,7 @@
 #include "cfs/transport.h"
 #include "common/rng.h"
 #include "erasure/rs.h"
+#include "obs/metrics.h"
 #include "placement/policy.h"
 #include "placement/types.h"
 
@@ -192,6 +193,13 @@ class MiniCfs {
   mutable std::mutex rng_mu_;
   mutable Rng rng_;
   std::atomic<int64_t> encode_cross_rack_downloads_{0};
+
+  // Cached obs registry instruments (valid for the process lifetime).
+  obs::Counter* ctr_blocks_written_;
+  obs::Counter* ctr_stripes_encoded_;
+  obs::Counter* ctr_degraded_reads_;
+  obs::Counter* ctr_repairs_;
+  obs::Histogram* hist_encode_s_;
 };
 
 }  // namespace ear::cfs

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "placement/replica_layout.h"
 
 namespace ear::cfs {
@@ -18,6 +19,9 @@ EncodeReport RaidNode::encode_stripes(const std::vector<StripeId>& stripes,
                                       bool scatter_encoders) {
   using Clock = std::chrono::steady_clock;
   EncodeReport report;
+  obs::Span job_span("raid.encode_job", "raid");
+  job_span.arg("stripes", static_cast<int64_t>(stripes.size()));
+  job_span.arg("map_slots", map_slots_);
   const auto job_start = Clock::now();
   const int64_t cross_before = cfs_->transport().cross_rack_bytes();
   const int64_t downloads_before = cfs_->encode_cross_rack_downloads();
@@ -31,7 +35,10 @@ EncodeReport RaidNode::encode_stripes(const std::vector<StripeId>& stripes,
   std::vector<std::thread> tasks;
   tasks.reserve(static_cast<size_t>(std::max(workers, 0)));
   for (int w = 0; w < workers; ++w) {
-    tasks.emplace_back([&] {
+    tasks.emplace_back([&, w] {
+      if (obs::trace_enabled()) {
+        obs::set_current_thread_name("map-slot-" + std::to_string(w));
+      }
       while (true) {
         const size_t i = next.fetch_add(1);
         if (i >= stripes.size()) return;
@@ -40,7 +47,11 @@ EncodeReport RaidNode::encode_stripes(const std::vector<StripeId>& stripes,
           std::lock_guard<std::mutex> lock(report_mu);
           override_encoder = random_node(cfs_->topology(), scatter_rng);
         }
-        cfs_->encode_stripe(stripes[i], override_encoder);
+        {
+          obs::Span task_span("raid.map_task", "raid");
+          task_span.arg("stripe", stripes[i]);
+          cfs_->encode_stripe(stripes[i], override_encoder);
+        }
         const double t =
             std::chrono::duration<double>(Clock::now() - job_start).count();
         std::lock_guard<std::mutex> lock(report_mu);

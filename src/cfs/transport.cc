@@ -4,6 +4,8 @@
 #include <memory>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace ear::cfs {
 
 ThrottledTransport::ThrottledTransport(const Topology& topo,
@@ -27,10 +29,23 @@ ThrottledTransport::ThrottledTransport(const Topology& topo,
     link->seconds_per_byte = 1.0 / bw;
     links_.push_back(std::move(link));
   }
+
+  auto& reg = obs::Registry::instance();
+  ctr_cross_ = &reg.counter("testbed.net.cross_rack_bytes");
+  ctr_intra_ = &reg.counter("testbed.net.intra_rack_bytes");
+  ctr_transfers_ = &reg.counter("testbed.net.transfers");
+  if (obs::trace_enabled() && obs::config().link_sample_period > 0) {
+    start_sampler(obs::config().link_sample_period);
+  }
 }
+
+ThrottledTransport::~ThrottledTransport() { stop_sampler(); }
 
 void ThrottledTransport::local_read(NodeId node, Bytes size) {
   if (config_.disk_bw <= 0 || size == 0) return;
+  obs::Span span("net.disk_read", "net");
+  span.arg("node", node);
+  span.arg("bytes", size);
   Bytes remaining = size;
   while (remaining > 0) {
     const Bytes chunk = std::min(remaining, config_.chunk_size);
@@ -49,6 +64,7 @@ ThrottledTransport::Clock::time_point ThrottledTransport::reserve(
       std::chrono::duration<double>(static_cast<double>(bytes) *
                                     link.seconds_per_byte));
   link.available_at = start + duration;
+  link.busy_seconds += static_cast<double>(bytes) * link.seconds_per_byte;
   return link.available_at;
 }
 
@@ -73,6 +89,14 @@ void ThrottledTransport::do_transfer(NodeId src, NodeId dst, Bytes size,
   }
   path.push_back(node_down(dst));
 
+  obs::Span span(!wait              ? "net.inject"
+                 : cross            ? "net.transfer.cross"
+                                    : "net.transfer.intra",
+                 "net");
+  span.arg("src", src);
+  span.arg("dst", dst);
+  span.arg("bytes", size);
+
   Bytes remaining = size;
   while (remaining > 0) {
     const Bytes chunk = std::min(remaining, config_.chunk_size);
@@ -88,9 +112,89 @@ void ThrottledTransport::do_transfer(NodeId src, NodeId dst, Bytes size,
 
   if (cross) {
     cross_ += size;
+    ctr_cross_->add(size);
   } else {
     intra_ += size;
+    ctr_intra_->add(size);
   }
+  ctr_transfers_->add();
+}
+
+// ------------------------------------------------------- link sampler (obs)
+
+std::string ThrottledTransport::link_label(int idx) const {
+  const int n = topo_.node_count();
+  const int r = topo_.rack_count();
+  if (idx < n) return "link/node" + std::to_string(idx) + ":up";
+  if (idx < 2 * n) return "link/node" + std::to_string(idx - n) + ":down";
+  if (idx < 2 * n + r) return "link/rack" + std::to_string(idx - 2 * n) + ":up";
+  if (idx < 2 * n + 2 * r) {
+    return "link/rack" + std::to_string(idx - 2 * n - r) + ":down";
+  }
+  return "link/disk" + std::to_string(idx - 2 * n - 2 * r);
+}
+
+void ThrottledTransport::start_sampler(Seconds period) {
+  sampler_period_ = period;
+  prev_busy_.assign(links_.size(), 0.0);
+  last_sample_ = Clock::now();
+  sampler_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(sampler_mu_);
+    while (!sampler_stop_) {
+      sampler_cv_.wait_for(
+          lock, std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(sampler_period_)));
+      if (sampler_stop_) break;
+      sample_links();
+    }
+  });
+}
+
+void ThrottledTransport::stop_sampler() {
+  if (!sampler_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  sampler_.join();
+  // One final synchronous snapshot so short runs (and tests) always see at
+  // least one sample per link.
+  sample_links();
+}
+
+void ThrottledTransport::sample_links() {
+  const auto now = Clock::now();
+  const double window =
+      std::chrono::duration<double>(now - last_sample_).count();
+  last_sample_ = now;
+
+  int64_t total_queued = 0;
+  double worst_share = 0;
+  for (size_t i = 0; i < links_.size(); ++i) {
+    Link& link = *links_[i];
+    double backlog_s;
+    double busy;
+    {
+      std::lock_guard<std::mutex> lock(link.mu);
+      backlog_s = std::max(
+          0.0, std::chrono::duration<double>(link.available_at - now).count());
+      busy = link.busy_seconds;
+    }
+    const auto queued_bytes =
+        static_cast<int64_t>(backlog_s / link.seconds_per_byte);
+    const double share =
+        window > 0 ? std::min(1.0, (busy - prev_busy_[i]) / window) : 0.0;
+    prev_busy_[i] = busy;
+    total_queued += queued_bytes;
+    worst_share = std::max(worst_share, share);
+    obs::trace_counter(link_label(static_cast<int>(i)).c_str(),
+                       {{"queued_bytes", queued_bytes},
+                        {"busy_pct", static_cast<int64_t>(share * 100.0)}});
+  }
+  auto& reg = obs::Registry::instance();
+  reg.gauge("testbed.net.queued_bytes").set(static_cast<double>(total_queued));
+  reg.gauge("testbed.net.max_link_share").set_max(worst_share);
 }
 
 }  // namespace ear::cfs

@@ -12,12 +12,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/units.h"
+#include "obs/metrics.h"
 #include "topology/topology.h"
 
 namespace ear::cfs {
@@ -84,6 +88,7 @@ struct ThrottleConfig {
 class ThrottledTransport final : public Transport {
  public:
   ThrottledTransport(const Topology& topo, const ThrottleConfig& config);
+  ~ThrottledTransport() override;
 
   void transfer(NodeId src, NodeId dst, Bytes size) override;
   void local_read(NodeId node, Bytes size) override;
@@ -102,6 +107,7 @@ class ThrottledTransport final : public Transport {
     std::mutex mu;
     Clock::time_point available_at{};
     double seconds_per_byte = 0;
+    double busy_seconds = 0;  // cumulative reserved time (sampler input)
   };
 
   int node_up(NodeId n) const { return n; }
@@ -119,11 +125,32 @@ class ThrottledTransport final : public Transport {
 
   void do_transfer(NodeId src, NodeId dst, Bytes size, bool wait);
 
+  // Link-utilization sampler (obs): a background thread that periodically
+  // snapshots every link's queued bytes and busy share since the previous
+  // sample, emitting Chrome counter events so cross-rack bottlenecks show
+  // up as a timeline.  Started only when tracing is on at construction.
+  void start_sampler(Seconds period);
+  void stop_sampler();
+  void sample_links();
+  std::string link_label(int idx) const;
+
   Topology topo_;
   ThrottleConfig config_;
   std::vector<std::unique_ptr<Link>> links_;
   std::atomic<int64_t> cross_{0};
   std::atomic<int64_t> intra_{0};
+
+  obs::Counter* ctr_cross_ = nullptr;
+  obs::Counter* ctr_intra_ = nullptr;
+  obs::Counter* ctr_transfers_ = nullptr;
+
+  std::thread sampler_;
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;
+  Seconds sampler_period_ = 0;
+  Clock::time_point last_sample_{};
+  std::vector<double> prev_busy_;  // per-link busy_seconds at last sample
 };
 
 }  // namespace ear::cfs

@@ -2,10 +2,24 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
+#include "obs/trace.h"
 #include "placement/replica_layout.h"
 
 namespace ear::mapred {
+
+namespace {
+// Virtual-time trace tracks: job spans share a few lanes starting at
+// kJobTrackBase; map-task spans get one row per TaskTracker node starting
+// at kMapTrackBase (above the sim flow lanes and encode-process rows).
+constexpr int kJobTrackBase = 40;
+constexpr int kJobLanes = 8;
+constexpr int kMapTrackBase = 200;
+
+int job_track(int job_index) { return kJobTrackBase + job_index % kJobLanes; }
+int map_track(NodeId node) { return kMapTrackBase + node; }
+}  // namespace
 
 MapReduceCluster::MapReduceCluster(sim::Engine& engine, sim::Network& network,
                                    PlacementPolicy& policy,
@@ -15,6 +29,14 @@ MapReduceCluster::MapReduceCluster(sim::Engine& engine, sim::Network& network,
   free_slots_.assign(
       static_cast<size_t>(policy.topology().node_count()),
       config.map_slots_per_node);
+  if (obs::trace_enabled()) {
+    for (int n = 0; n < policy.topology().node_count(); ++n) {
+      obs::set_sim_track_name(map_track(n), "mr-node-" + std::to_string(n));
+    }
+    for (int l = 0; l < kJobLanes; ++l) {
+      obs::set_sim_track_name(kJobTrackBase + l, "mr-jobs-" + std::to_string(l));
+    }
+  }
 }
 
 void MapReduceCluster::submit(const JobSpec& spec) {
@@ -130,11 +152,19 @@ void MapReduceCluster::run_map(const MapTask& task, NodeId node) {
   const bool local =
       std::find(task.input_replicas.begin(), task.input_replicas.end(),
                 node) != task.input_replicas.end();
-  auto compute = [this, task, node] {
+  const Seconds dispatch = engine_->now();
+  auto compute = [this, task, node, dispatch] {
     const Seconds compute_time = static_cast<double>(config_.block_size) /
                                  config_.map_compute_rate;
-    engine_->schedule_in(compute_time,
-                         [this, task, node] { finish_map(task, node); });
+    engine_->schedule_in(compute_time, [this, task, node, dispatch] {
+      if (obs::trace_enabled()) {
+        obs::sim_complete(
+            "mr.map", "mapred", dispatch, engine_->now(), map_track(node),
+            {{"job", jobs_[static_cast<size_t>(task.job_index)].spec.id},
+             {"task", task.task_index}});
+      }
+      finish_map(task, node);
+    });
   };
   if (local) {
     compute();
@@ -228,6 +258,13 @@ void MapReduceCluster::maybe_start_reduce(int job_index) {
 void MapReduceCluster::finish_job(int job_index) {
   Job& job = jobs_[static_cast<size_t>(job_index)];
   job.result.finish_time = engine_->now();
+  if (obs::trace_enabled()) {
+    obs::sim_complete("mr.job", "mapred", job.spec.submit_time,
+                      engine_->now(), job_track(job_index),
+                      {{"job", job.spec.id},
+                       {"maps", job.result.map_tasks},
+                       {"data_local", job.result.data_local_maps}});
+  }
   results_.push_back(job.result);
 }
 

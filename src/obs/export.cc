@@ -1,0 +1,146 @@
+#include "obs/export.h"
+
+#include <cerrno>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ear::obs {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_event(std::string& out, const TraceEvent& ev) {
+  out += "{\"name\":";
+  append_json_string(out, ev.name);
+  out += ",\"cat\":";
+  append_json_string(out, ev.cat[0] == '\0' ? "default" : ev.cat);
+  out += ",\"ph\":\"";
+  out += ev.ph;
+  out += "\",\"pid\":" + std::to_string(ev.pid) +
+         ",\"tid\":" + std::to_string(ev.tid) +
+         ",\"ts\":" + std::to_string(ev.ts_us);
+  if (ev.ph == 'X') out += ",\"dur\":" + std::to_string(ev.dur_us);
+  if (ev.ph == 'i') out += ",\"s\":\"t\"";  // instant scope: thread
+  if (ev.arg_count > 0) {
+    out += ",\"args\":{";
+    for (int32_t i = 0; i < ev.arg_count; ++i) {
+      if (i > 0) out += ",";
+      append_json_string(out, ev.arg_keys[i]);
+      out += ":" + std::to_string(ev.arg_values[i]);
+    }
+    out += "}";
+  }
+  out += "}";
+}
+
+void append_metadata(std::string& out, int32_t pid, int32_t tid,
+                     const char* what, const std::string& name) {
+  out += "{\"name\":\"";
+  out += what;
+  out += "\",\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(tid) + ",\"args\":{\"name\":";
+  append_json_string(out, name);
+  out += "}}";
+}
+
+bool write_string(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  if (std::fclose(f) != 0) return false;
+  return wrote;
+}
+
+}  // namespace
+
+std::string chrome_trace_json() {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&out, &first](const auto& fn) {
+    if (!first) out += ",\n";
+    first = false;
+    fn();
+  };
+
+  emit([&] {
+    append_metadata(out, kRealPid, 0, "process_name", "testbed (real time)");
+  });
+  emit([&] {
+    append_metadata(out, kSimPid, 0, "process_name",
+                    "simulator (virtual time)");
+  });
+  for (const auto& [tid, name] : real_thread_names()) {
+    emit([&] { append_metadata(out, kRealPid, tid, "thread_name", name); });
+  }
+  for (const auto& [track, name] : sim_track_names()) {
+    emit([&] { append_metadata(out, kSimPid, track, "thread_name", name); });
+  }
+  if (trace_dropped_events() > 0) {
+    // Make truncation visible inside the trace itself.
+    emit([&] {
+      TraceEvent ev{};
+      std::snprintf(ev.name, TraceEvent::kNameLen, "obs.dropped_events");
+      std::snprintf(ev.cat, TraceEvent::kCatLen, "obs");
+      ev.ph = 'C';
+      ev.pid = kRealPid;
+      ev.ts_us = now_us();
+      ev.arg_count = 1;
+      std::snprintf(ev.arg_keys[0], TraceEvent::kKeyLen, "dropped");
+      ev.arg_values[0] = trace_dropped_events();
+      append_event(out, ev);
+    });
+  }
+  for (const TraceEvent& ev : trace_snapshot()) {
+    emit([&] { append_event(out, ev); });
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  return write_string(path, chrome_trace_json());
+}
+
+bool write_metrics_text(const std::string& path) {
+  return write_string(path, Registry::instance().to_text());
+}
+
+bool write_metrics_json(const std::string& path) {
+  return write_string(path, Registry::instance().to_json() + "\n");
+}
+
+}  // namespace ear::obs

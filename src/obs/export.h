@@ -1,0 +1,24 @@
+// Exporters for the observability subsystem:
+//  * Chrome trace_event JSON — load the file in chrome://tracing or
+//    https://ui.perfetto.dev (testbed wall-clock events appear as process
+//    "testbed (real time)", simulator virtual-time events as "simulator
+//    (virtual time)");
+//  * plain-text / JSON metrics dumps of the global Registry.
+//
+// All writers return false on I/O failure and leave errno describing the
+// error, so call sites can report strerror(errno).
+#pragma once
+
+#include <string>
+
+namespace ear::obs {
+
+// The full trace as a Chrome trace_event JSON document
+// ({"traceEvents":[...]}), including process/thread metadata records.
+std::string chrome_trace_json();
+
+[[nodiscard]] bool write_chrome_trace(const std::string& path);
+[[nodiscard]] bool write_metrics_text(const std::string& path);
+[[nodiscard]] bool write_metrics_json(const std::string& path);
+
+}  // namespace ear::obs

@@ -1,0 +1,202 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+
+namespace ear::obs {
+
+void Gauge::set_max(double v) {
+  if (!metrics_enabled()) return;
+  double cur = value_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::record(double v) {
+  if (!metrics_enabled()) return;
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry();  // never destroyed: references must
+  return *r;                            // outlive static teardown order
+}
+
+Registry::Shard& Registry::shard_for(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % kShards];
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+void Registry::reset_values() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [name, c] : shard.counters) c->reset();
+    for (auto& [name, g] : shard.gauges) g->reset();
+    for (auto& [name, h] : shard.histograms) h->reset();
+  }
+}
+
+namespace {
+
+// Collects a stable (sorted) view of every instrument so the dumps are
+// deterministic regardless of shard hashing.
+struct Snapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  struct Hist {
+    std::vector<double> bounds;
+    std::vector<int64_t> buckets;
+    int64_t count;
+    double sum;
+  };
+  std::map<std::string, Hist> histograms;
+};
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::to_text() const {
+  Snapshot snap;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, c] : shard.counters) {
+      snap.counters[name] = c->value();
+    }
+    for (const auto& [name, g] : shard.gauges) snap.gauges[name] = g->value();
+    for (const auto& [name, h] : shard.histograms) {
+      Snapshot::Hist hist;
+      hist.bounds = h->bounds();
+      for (size_t i = 0; i <= h->bounds().size(); ++i) {
+        hist.buckets.push_back(h->bucket_count(i));
+      }
+      hist.count = h->count();
+      hist.sum = h->sum();
+      snap.histograms[name] = std::move(hist);
+    }
+  }
+
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    out += "counter " + name + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    out += "gauge " + name + " " + format_double(v) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out += "hist " + name + " count=" + std::to_string(h.count) +
+           " sum=" + format_double(h.sum) + " buckets=";
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ",";
+      out += (i < h.bounds.size() ? format_double(h.bounds[i])
+                                  : std::string("inf")) +
+             ":" + std::to_string(h.buckets[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Registry::to_json() const {
+  Snapshot snap;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, c] : shard.counters) {
+      snap.counters[name] = c->value();
+    }
+    for (const auto& [name, g] : shard.gauges) snap.gauges[name] = g->value();
+    for (const auto& [name, h] : shard.histograms) {
+      Snapshot::Hist hist;
+      hist.bounds = h->bounds();
+      for (size_t i = 0; i <= h->bounds().size(); ++i) {
+        hist.buckets.push_back(h->bucket_count(i));
+      }
+      hist.count = h->count();
+      hist.sum = h->sum();
+      snap.histograms[name] = std::move(hist);
+    }
+  }
+
+  // Metric names are programmer-chosen identifiers (no quotes/control
+  // characters), so plain quoting suffices here.
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + format_double(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"bounds\":[";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ",";
+      out += format_double(h.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "],\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + format_double(h.sum) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ear::obs

@@ -1,0 +1,116 @@
+// Lock-sharded metrics registry: named counters, gauges and fixed-bucket
+// histograms cheap enough for hot paths.
+//
+// Registration (Registry::counter/gauge/histogram) takes a shard lock and
+// may allocate; it is meant to run once per component at construction time.
+// The returned reference is valid for the life of the process — the registry
+// never deallocates an instrument (reset_values() only zeroes them) — so
+// call sites cache the reference and the hot path is a relaxed atomic
+// increment with no lock and no allocation.  When collection is disabled
+// every mutator is a single branch.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace ear::obs {
+
+class Counter {
+ public:
+  void add(int64_t delta = 1) {
+    if (!metrics_enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) {
+    if (!metrics_enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  // Monotone-max convenience (e.g. high-water marks).
+  void set_max(double v);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  // `bounds` are strictly increasing upper bounds: bucket i counts samples
+  // v <= bounds[i] (and > bounds[i-1]); one implicit overflow bucket counts
+  // v > bounds.back().
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // i in [0, bounds().size()]; the last index is the overflow bucket.
+  int64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  // Returns the instrument registered under `name`, creating it on first
+  // use.  A histogram's bounds are fixed by the first registration; later
+  // calls with the same name return the existing histogram unchanged.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  // Zeroes every value.  Registrations — and references handed out — stay
+  // valid, so cached pointers in instrumented components never dangle.
+  void reset_values();
+
+  // "counter <name> <value>" / "gauge ..." / "hist <name> count=.. sum=..
+  // buckets=le1:c1,..,inf:cN" lines, sorted by name.
+  std::string to_text() const;
+  // {"counters":{..},"gauges":{..},"histograms":{name:{bounds,counts,count,sum}}}
+  std::string to_json() const;
+
+ private:
+  Registry() = default;
+
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+    std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Shard& shard_for(const std::string& name);
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace ear::obs

@@ -1,0 +1,45 @@
+#include "obs/obs.h"
+
+#include <chrono>
+
+namespace ear::obs {
+
+namespace internal {
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Config g_config;
+
+Clock::time_point epoch() {
+  static const Clock::time_point e = Clock::now();
+  return e;
+}
+
+}  // namespace
+
+void init(const Config& config) {
+  epoch();  // pin the trace origin before any component records
+  g_config = config;
+  internal::g_metrics_enabled.store(config.metrics, std::memory_order_relaxed);
+  internal::g_trace_enabled.store(config.trace, std::memory_order_relaxed);
+}
+
+void shutdown() {
+  internal::g_metrics_enabled.store(false, std::memory_order_relaxed);
+  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+const Config& config() { return g_config; }
+
+int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch())
+      .count();
+}
+
+}  // namespace ear::obs

@@ -1,0 +1,58 @@
+// Observability runtime switch and clocks (see DESIGN.md "Observability").
+//
+// The subsystem is globally off by default: every instrumentation site is
+// gated on a relaxed atomic load, so the disabled path costs one branch and
+// no allocation.  Benches and tests opt in with obs::init(); the flags stay
+// process-global because instrumentation lives in hot paths shared by every
+// component (transports, the sim engine, the encoder).
+//
+// Two time bases coexist:
+//  * real time   — now_us(), microseconds on the steady clock since the
+//    process trace epoch; used by testbed threads (pid kRealPid in traces);
+//  * virtual time — simulated seconds from sim::Engine::now(), converted to
+//    microseconds at record time (pid kSimPid in traces).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace ear::obs {
+
+struct Config {
+  bool metrics = false;  // collect registry counters/gauges/histograms
+  bool trace = false;    // record trace events (spans, instants, counters)
+  // Sampling period of the ThrottledTransport link-utilization sampler;
+  // <= 0 disables the sampler even when tracing is on.
+  Seconds link_sample_period = 0.05;
+};
+
+// Enables collection according to `config`.  Call before constructing the
+// components to observe (ThrottledTransport starts its link sampler at
+// construction time).  Safe to call more than once.
+void init(const Config& config);
+
+// Disables all collection.  Already-recorded data survives until
+// trace_reset() / Registry::reset_values().
+void shutdown();
+
+const Config& config();
+
+namespace internal {
+extern std::atomic<bool> g_metrics_enabled;
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+inline bool metrics_enabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+inline bool trace_enabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+// Microseconds since the process trace epoch (steady clock, pinned on first
+// use; init() pins it early so all traced components share one origin).
+int64_t now_us();
+
+}  // namespace ear::obs

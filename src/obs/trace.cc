@@ -1,0 +1,212 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace ear::obs {
+
+namespace {
+
+// Per-buffer cap: a runaway run stops recording rather than exhausting
+// memory; drops are counted and surfaced via trace_dropped_events().
+constexpr size_t kMaxEventsPerThread = 1 << 22;  // ~4M events (~600 MB worst)
+constexpr size_t kChunk = 4096;
+
+struct ThreadBuffer {
+  std::mutex mu;
+  int32_t tid = 0;
+  std::string name;
+  std::vector<TraceEvent> events;
+};
+
+struct Recorder {
+  std::mutex registry_mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  int32_t next_tid = 1;
+  std::map<int, std::string> sim_tracks;
+  std::atomic<int64_t> dropped{0};
+};
+
+Recorder& recorder() {
+  static Recorder* r = new Recorder();  // never destroyed: worker threads
+  return *r;                            // may outlive static teardown
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* buf = nullptr;
+  if (buf == nullptr) {
+    Recorder& rec = recorder();
+    std::lock_guard<std::mutex> lock(rec.registry_mu);
+    rec.buffers.push_back(std::make_unique<ThreadBuffer>());
+    buf = rec.buffers.back().get();
+    buf->tid = rec.next_tid++;
+  }
+  return *buf;
+}
+
+void copy_str(char* dst, size_t cap, const char* src) {
+  std::strncpy(dst, src == nullptr ? "" : src, cap - 1);
+  dst[cap - 1] = '\0';
+}
+
+void append(TraceEvent&& ev) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    recorder().dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (buf.events.empty()) buf.events.reserve(kChunk);
+  buf.events.push_back(std::move(ev));
+}
+
+TraceEvent make_event(const char* name, const char* cat, char ph, int32_t pid,
+                      int32_t tid, int64_t ts_us, int64_t dur_us,
+                      const TraceArg* args, size_t arg_count) {
+  TraceEvent ev;
+  copy_str(ev.name, TraceEvent::kNameLen, name);
+  copy_str(ev.cat, TraceEvent::kCatLen, cat);
+  ev.ph = ph;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.arg_count = static_cast<int32_t>(
+      std::min<size_t>(arg_count, TraceEvent::kMaxArgs));
+  for (int32_t i = 0; i < ev.arg_count; ++i) {
+    copy_str(ev.arg_keys[i], TraceEvent::kKeyLen, args[i].key);
+    ev.arg_values[i] = args[i].value;
+  }
+  return ev;
+}
+
+int64_t sim_us(Seconds t) { return static_cast<int64_t>(t * 1e6); }
+
+}  // namespace
+
+void trace_complete(const char* name, const char* cat, int64_t ts_us,
+                    int64_t dur_us, const TraceArg* args, size_t arg_count) {
+  if (!trace_enabled()) return;
+  append(make_event(name, cat, 'X', kRealPid, local_buffer().tid, ts_us,
+                    dur_us, args, arg_count));
+}
+
+void trace_instant(const char* name, const char* cat,
+                   std::initializer_list<TraceArg> args) {
+  if (!trace_enabled()) return;
+  append(make_event(name, cat, 'i', kRealPid, local_buffer().tid, now_us(), 0,
+                    args.begin(), args.size()));
+}
+
+void trace_counter(const char* name, std::initializer_list<TraceArg> args) {
+  if (!trace_enabled()) return;
+  append(make_event(name, "counter", 'C', kRealPid, 0, now_us(), 0,
+                    args.begin(), args.size()));
+}
+
+void sim_complete(const char* name, const char* cat, Seconds start,
+                  Seconds end, int track, std::initializer_list<TraceArg> args) {
+  if (!trace_enabled()) return;
+  append(make_event(name, cat, 'X', kSimPid, track, sim_us(start),
+                    sim_us(end) - sim_us(start), args.begin(), args.size()));
+}
+
+void sim_instant(const char* name, const char* cat, Seconds t, int track,
+                 std::initializer_list<TraceArg> args) {
+  if (!trace_enabled()) return;
+  append(make_event(name, cat, 'i', kSimPid, track, sim_us(t), 0, args.begin(),
+                    args.size()));
+}
+
+void sim_counter(const char* name, Seconds t,
+                 std::initializer_list<TraceArg> args) {
+  if (!trace_enabled()) return;
+  append(make_event(name, "counter", 'C', kSimPid, 0, sim_us(t), 0,
+                    args.begin(), args.size()));
+}
+
+void set_current_thread_name(const std::string& name) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.name = name;
+}
+
+void set_sim_track_name(int track, const std::string& name) {
+  Recorder& rec = recorder();
+  std::lock_guard<std::mutex> lock(rec.registry_mu);
+  rec.sim_tracks[track] = name;
+}
+
+size_t trace_event_count() {
+  Recorder& rec = recorder();
+  std::lock_guard<std::mutex> lock(rec.registry_mu);
+  size_t total = 0;
+  for (const auto& buf : rec.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    total += buf->events.size();
+  }
+  return total;
+}
+
+std::vector<TraceEvent> trace_snapshot() {
+  Recorder& rec = recorder();
+  std::lock_guard<std::mutex> lock(rec.registry_mu);
+  std::vector<TraceEvent> out;
+  for (const auto& buf : rec.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  return out;
+}
+
+bool trace_has_event(const std::string& name) {
+  Recorder& rec = recorder();
+  std::lock_guard<std::mutex> lock(rec.registry_mu);
+  for (const auto& buf : rec.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    for (const TraceEvent& ev : buf->events) {
+      if (name == ev.name) return true;
+    }
+  }
+  return false;
+}
+
+int64_t trace_dropped_events() {
+  return recorder().dropped.load(std::memory_order_relaxed);
+}
+
+void trace_reset() {
+  Recorder& rec = recorder();
+  std::lock_guard<std::mutex> lock(rec.registry_mu);
+  for (const auto& buf : rec.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+    buf->events.shrink_to_fit();
+    buf->name.clear();
+  }
+  rec.sim_tracks.clear();
+  rec.dropped.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<int32_t, std::string>> real_thread_names() {
+  Recorder& rec = recorder();
+  std::lock_guard<std::mutex> lock(rec.registry_mu);
+  std::vector<std::pair<int32_t, std::string>> out;
+  for (const auto& buf : rec.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    if (!buf->name.empty()) out.emplace_back(buf->tid, buf->name);
+  }
+  return out;
+}
+
+std::vector<std::pair<int32_t, std::string>> sim_track_names() {
+  Recorder& rec = recorder();
+  std::lock_guard<std::mutex> lock(rec.registry_mu);
+  return {rec.sim_tracks.begin(), rec.sim_tracks.end()};
+}
+
+}  // namespace ear::obs

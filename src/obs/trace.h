@@ -1,0 +1,132 @@
+// Trace recorder: timestamped spans / instant events / counter series from
+// real threads and from virtual sim time, exportable as Chrome trace_event
+// JSON (chrome://tracing, Perfetto) — see obs/export.h.
+//
+// Events land in per-thread chunked buffers (one uncontended mutex each, no
+// cross-thread traffic on the record path); buffers are owned by the global
+// recorder, so events survive worker-thread joins until trace_reset().
+// Every record function is a no-op (one branch) when tracing is disabled.
+//
+// Trace layout: real-time events carry pid kRealPid and the recording
+// thread's tid; virtual-time events carry pid kSimPid and a caller-chosen
+// `track` id (named via set_sim_track_name), so testbed wall-clock and
+// simulator virtual-clock timelines stay visually separate.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/obs.h"
+
+namespace ear::obs {
+
+inline constexpr int32_t kRealPid = 1;  // wall-clock (testbed threads)
+inline constexpr int32_t kSimPid = 2;   // virtual time (sim engine)
+
+struct TraceArg {
+  const char* key;
+  int64_t value;
+};
+
+struct TraceEvent {
+  static constexpr size_t kNameLen = 48;
+  static constexpr size_t kCatLen = 16;
+  static constexpr size_t kKeyLen = 16;
+  static constexpr int kMaxArgs = 3;
+
+  char name[kNameLen];
+  char cat[kCatLen];
+  char ph = 'X';  // 'X' complete, 'i' instant, 'C' counter
+  int32_t pid = kRealPid;
+  int32_t tid = 0;
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;  // 'X' only
+  int32_t arg_count = 0;
+  char arg_keys[kMaxArgs][kKeyLen];
+  int64_t arg_values[kMaxArgs];
+};
+
+// ---- real-time events (timestamped with obs::now_us(), pid kRealPid) ----
+
+void trace_complete(const char* name, const char* cat, int64_t ts_us,
+                    int64_t dur_us, const TraceArg* args, size_t arg_count);
+inline void trace_complete(const char* name, const char* cat, int64_t ts_us,
+                           int64_t dur_us,
+                           std::initializer_list<TraceArg> args = {}) {
+  trace_complete(name, cat, ts_us, dur_us, args.begin(), args.size());
+}
+void trace_instant(const char* name, const char* cat,
+                   std::initializer_list<TraceArg> args = {});
+// Counter series; each arg is one stacked series in the Chrome counter row.
+void trace_counter(const char* name, std::initializer_list<TraceArg> args);
+
+// ---- virtual-time events (timestamps in simulated seconds, pid kSimPid) ----
+
+void sim_complete(const char* name, const char* cat, Seconds start,
+                  Seconds end, int track,
+                  std::initializer_list<TraceArg> args = {});
+void sim_instant(const char* name, const char* cat, Seconds t, int track,
+                 std::initializer_list<TraceArg> args = {});
+void sim_counter(const char* name, Seconds t,
+                 std::initializer_list<TraceArg> args);
+
+// RAII span on the calling thread.  Construction snapshots the clock only
+// when tracing is enabled; destruction records a complete event.
+class Span {
+ public:
+  Span(const char* name, const char* cat) {
+    if (trace_enabled()) {
+      name_ = name;
+      cat_ = cat;
+      start_ = now_us();
+    }
+  }
+  ~Span() {
+    if (start_ >= 0) {
+      trace_complete(name_, cat_, start_, now_us() - start_, args_,
+                     arg_count_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void arg(const char* key, int64_t value) {
+    if (start_ >= 0 && arg_count_ < TraceEvent::kMaxArgs) {
+      args_[arg_count_++] = TraceArg{key, value};
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  int64_t start_ = -1;
+  size_t arg_count_ = 0;
+  TraceArg args_[TraceEvent::kMaxArgs];
+};
+
+// Names the calling thread in trace exports (e.g. "map-slot-3").
+void set_current_thread_name(const std::string& name);
+// Names a virtual-time track (tid on pid kSimPid), e.g. "encode-proc-0".
+void set_sim_track_name(int track, const std::string& name);
+
+// ---- inspection / lifecycle ----
+
+size_t trace_event_count();
+// Events recorded so far, in per-thread order (not globally time-sorted).
+std::vector<TraceEvent> trace_snapshot();
+// True if any recorded event has this exact name (test convenience).
+bool trace_has_event(const std::string& name);
+// Events dropped because a thread buffer hit its cap (kept explicit so a
+// truncated trace never masquerades as a complete one).
+int64_t trace_dropped_events();
+// Clears all recorded events, thread/track names and the dropped count.
+void trace_reset();
+
+// Thread/track names registered so far (for the exporter).
+std::vector<std::pair<int32_t, std::string>> real_thread_names();
+std::vector<std::pair<int32_t, std::string>> sim_track_names();
+
+}  // namespace ear::obs

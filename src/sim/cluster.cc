@@ -3,11 +3,20 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
 #include "placement/ear.h"
 #include "placement/monitor.h"
 #include "placement/replica_layout.h"
 
 namespace ear::sim {
+
+namespace {
+// Virtual-time trace tracks: flow lanes occupy the low tids, encode
+// processes get their own rows starting here.
+constexpr int kEncodeTrackBase = 100;
+
+int encode_track(int proc_id) { return kEncodeTrackBase + proc_id; }
+}  // namespace
 
 // One of the `encode_processes` parallel encoding workers.  Each worker
 // pulls the next un-encoded stripe from the shared queue and simulates the
@@ -18,6 +27,7 @@ struct ClusterSim::EncodeProcess {
   size_t stripe_index = 0;  // index into stripes_/plans_ being worked on
   int pending_transfers = 0;
   enum class Phase { kIdle, kDownload, kUpload, kRelocate } phase = Phase::kIdle;
+  Seconds phase_start = 0;  // virtual time the current phase began (tracing)
 };
 
 ClusterSim::ClusterSim(const SimConfig& config)
@@ -60,6 +70,10 @@ SimResult ClusterSim::run() {
     for (int p = 0; p < config_.encode_processes; ++p) {
       auto proc = std::make_unique<EncodeProcess>();
       proc->id = p;
+      if (obs::trace_enabled()) {
+        obs::set_sim_track_name(encode_track(p),
+                                "encode-proc-" + std::to_string(p));
+      }
       processes_.push_back(std::move(proc));
     }
     processes_running_ = config_.encode_processes;
@@ -175,6 +189,7 @@ void ClusterSim::start_stripe(EncodeProcess& proc) {
   }
   proc.stripe_index = next_stripe_index_++;
   proc.phase = EncodeProcess::Phase::kDownload;
+  proc.phase_start = engine_.now();
 
   const StripeInfo& stripe = policy_->stripe(stripes_[proc.stripe_index]);
   const EncodePlan& plan = plans_[proc.stripe_index];
@@ -224,10 +239,22 @@ void ClusterSim::finish_stripe(EncodeProcess& proc) {
   const EncodePlan& plan = plans_[proc.stripe_index];
 
   if (proc.phase == EncodeProcess::Phase::kDownload) {
+    if (obs::trace_enabled()) {
+      const int64_t stripe = stripes_[proc.stripe_index];
+      obs::sim_complete("sim.encode.download", "sim.encode", proc.phase_start,
+                        engine_.now(), encode_track(proc.id),
+                        {{"stripe", stripe}});
+      // Compute duration is a fixed model parameter, so its span can be
+      // emitted at dispatch time.
+      obs::sim_complete("sim.encode.compute", "sim.encode", engine_.now(),
+                        engine_.now() + config_.encode_compute_seconds,
+                        encode_track(proc.id), {{"stripe", stripe}});
+    }
     // Step (ii): parity computation, then upload of the n - k parity
     // blocks.
     proc.phase = EncodeProcess::Phase::kUpload;
     auto begin_uploads = [this, &proc, &plan] {
+      proc.phase_start = engine_.now();
       proc.pending_transfers = 0;
       for (const NodeId dst : plan.parity) {
         if (dst == plan.encoder) continue;
@@ -247,6 +274,12 @@ void ClusterSim::finish_stripe(EncodeProcess& proc) {
     return;
   }
 
+  if (proc.phase == EncodeProcess::Phase::kUpload && obs::trace_enabled()) {
+    obs::sim_complete("sim.encode.upload", "sim.encode", proc.phase_start,
+                      engine_.now(), encode_track(proc.id),
+                      {{"stripe", stripes_[proc.stripe_index]}});
+  }
+
   if (proc.phase == EncodeProcess::Phase::kUpload &&
       config_.simulate_relocation) {
     // Ablation: PlacementMonitor check + BlockMover traffic (RR pays; EAR's
@@ -259,6 +292,7 @@ void ClusterSim::finish_stripe(EncodeProcess& proc) {
     const auto moves = monitor.plan_relocations(layout, config_.placement.c);
     if (!moves.empty()) {
       proc.phase = EncodeProcess::Phase::kRelocate;
+      proc.phase_start = engine_.now();
       proc.pending_transfers = static_cast<int>(moves.size());
       result_.relocations += static_cast<int64_t>(moves.size());
       result_.relocation_bytes +=
@@ -273,6 +307,12 @@ void ClusterSim::finish_stripe(EncodeProcess& proc) {
       }
       return;
     }
+  }
+
+  if (proc.phase == EncodeProcess::Phase::kRelocate && obs::trace_enabled()) {
+    obs::sim_complete("sim.encode.relocate", "sim.encode", proc.phase_start,
+                      engine_.now(), encode_track(proc.id),
+                      {{"stripe", stripes_[proc.stripe_index]}});
   }
 
   // Step (iii): replica deletion is metadata-only.  Record completion.

@@ -3,7 +3,20 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace ear::sim {
+
+namespace {
+// Registered once; instruments are never deallocated, so the cached
+// reference stays valid for the process lifetime (add() is gated
+// internally and a no-op while metrics are disabled).
+obs::Counter& events_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("sim.events_executed");
+  return c;
+}
+}  // namespace
 
 EventId Engine::schedule_at(Seconds t, Callback cb) {
   assert(t >= now_ - 1e-12 && "cannot schedule in the past");
@@ -27,6 +40,7 @@ bool Engine::step() {
     pending_.erase(pending_it);
     now_ = key.time;
     ++executed_;
+    events_counter().add();
     cb();
     return true;
   }

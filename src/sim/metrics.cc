@@ -19,6 +19,16 @@ class File {
   bool ok() const { return handle_ != nullptr; }
   std::FILE* get() { return handle_; }
 
+  // Flushes and closes, reporting deferred write errors (e.g. ENOSPC only
+  // surfaces at flush time).  Leaves errno set on failure.
+  bool close() {
+    if (!handle_) return false;
+    const bool had_error = std::ferror(handle_) != 0;
+    const bool close_failed = std::fclose(handle_) != 0;
+    handle_ = nullptr;
+    return !had_error && !close_failed;
+  }
+
  private:
   std::FILE* handle_;
 };
@@ -33,7 +43,7 @@ bool write_stripe_completion_csv(const SimResult& result,
   for (const auto& [t, count] : result.stripe_completions) {
     std::fprintf(f.get(), "%.6f,%d\n", t, count);
   }
-  return true;
+  return f.close();
 }
 
 bool write_response_times_csv(const SimResult& result,
@@ -47,7 +57,7 @@ bool write_response_times_csv(const SimResult& result,
   for (const double r : result.write_response_during.samples()) {
     std::fprintf(f.get(), "during,%.6f\n", r);
   }
-  return true;
+  return f.close();
 }
 
 std::string summarize(const SimResult& result) {

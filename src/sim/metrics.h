@@ -9,14 +9,15 @@
 namespace ear::sim {
 
 // Writes the (time, cumulative stripes encoded) curve — Figure 12's series.
-// Returns false on I/O failure.
-bool write_stripe_completion_csv(const SimResult& result,
-                                 const std::string& path);
+// Returns false on I/O failure with errno describing the cause.
+[[nodiscard]] bool write_stripe_completion_csv(const SimResult& result,
+                                               const std::string& path);
 
 // Writes per-request write response times as (issue_window, response_s)
-// rows, split into before/during encoding.
-bool write_response_times_csv(const SimResult& result,
-                              const std::string& path);
+// rows, split into before/during encoding.  Returns false on I/O failure
+// with errno describing the cause.
+[[nodiscard]] bool write_response_times_csv(const SimResult& result,
+                                            const std::string& path);
 
 // One-line machine-readable summary (key=value pairs) for sweep scripts.
 std::string summarize(const SimResult& result);

@@ -5,12 +5,21 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.h"
+
 namespace ear::sim {
 
 namespace {
 // Flows with fewer remaining bytes than this are considered finished
 // (guards against floating-point residue).
 constexpr double kEpsilonBytes = 1e-3;
+
+// Virtual-time flow spans are spread over a handful of trace lanes (tid on
+// pid kSimPid) so concurrent flows render side by side instead of stacking
+// on one row.
+constexpr int kFlowLanes = 16;
+
+int flow_lane(TransferId id) { return static_cast<int>(id % kFlowLanes); }
 }  // namespace
 
 Network::Network(Engine& engine, const Topology& topo, const NetConfig& config)
@@ -43,7 +52,8 @@ TransferId Network::start_transfer(NodeId src, NodeId dst, Bytes size,
 
   std::vector<int> links;
   links.push_back(node_up(src));
-  if (!topo_->same_rack(src, dst)) {
+  const bool cross = !topo_->same_rack(src, dst);
+  if (cross) {
     links.push_back(rack_up(topo_->rack_of(src)));
     links.push_back(rack_down(topo_->rack_of(dst)));
     cross_rack_bytes_ += size;
@@ -52,7 +62,8 @@ TransferId Network::start_transfer(NodeId src, NodeId dst, Bytes size,
     intra_rack_bytes_ += size;
   }
   links.push_back(node_down(dst));
-  return start_flow(std::move(links), size, std::move(on_complete));
+  return start_flow(std::move(links), size, std::move(on_complete),
+                    cross ? "sim.flow.cross" : "sim.flow.intra");
 }
 
 TransferId Network::start_disk_read(NodeId node, Bytes size,
@@ -62,13 +73,25 @@ TransferId Network::start_disk_read(NodeId node, Bytes size,
     engine_->schedule_in(0.0, std::move(on_complete));
     return id;
   }
-  return start_flow({disk(node)}, size, std::move(on_complete));
+  return start_flow({disk(node)}, size, std::move(on_complete),
+                    "sim.disk_read");
 }
 
 TransferId Network::start_flow(std::vector<int> links, Bytes size,
-                               std::function<void()> on_complete) {
+                               std::function<void()> on_complete,
+                               const char* trace_name) {
   const TransferId id = next_id_++;
   if (config_.sharing == SharingModel::kFifoReservation) {
+    if (obs::trace_enabled()) {
+      // Wrap the continuation so the whole chunked FIFO transfer appears as
+      // one virtual-time span when its last chunk lands.
+      on_complete = [trace_name, start = engine_->now(), size, id,
+                     engine = engine_, inner = std::move(on_complete)] {
+        obs::sim_complete(trace_name, "sim.net", start, engine->now(),
+                          flow_lane(id), {{"bytes", size}});
+        inner();
+      };
+    }
     fifo_step(std::move(links), size, std::move(on_complete));
     return id;
   }
@@ -79,11 +102,23 @@ TransferId Network::start_flow(std::vector<int> links, Bytes size,
   flow.remaining = static_cast<double>(size);
   flow.on_complete = std::move(on_complete);
   flow.links = std::move(links);
+  if (obs::trace_enabled()) {
+    flow.trace_name = trace_name;
+    flow.start = engine_->now();
+    flow.total = size;
+  }
   flows_.push_back(std::move(flow));
 
   recompute_rates();
   schedule_next_completion();
+  trace_active_flows();
   return id;
+}
+
+void Network::trace_active_flows() const {
+  if (!obs::trace_enabled()) return;
+  obs::sim_counter("sim.active_flows", engine_->now(),
+                   {{"flows", static_cast<int64_t>(flows_.size())}});
 }
 
 void Network::fifo_step(std::vector<int> links, Bytes remaining,
@@ -204,6 +239,11 @@ void Network::on_completion_event() {
   std::vector<std::function<void()>> callbacks;
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (it->remaining <= kEpsilonBytes) {
+      if (it->trace_name != nullptr && obs::trace_enabled()) {
+        obs::sim_complete(it->trace_name, "sim.net", it->start,
+                          engine_->now(), flow_lane(it->id),
+                          {{"bytes", it->total}});
+      }
       callbacks.push_back(std::move(it->on_complete));
       it = flows_.erase(it);
     } else {
@@ -212,6 +252,7 @@ void Network::on_completion_event() {
   }
   recompute_rates();
   schedule_next_completion();
+  trace_active_flows();
   for (auto& cb : callbacks) cb();
 }
 

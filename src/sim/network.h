@@ -84,6 +84,10 @@ class Network {
     double remaining;  // bytes
     BytesPerSec rate = 0.0;
     std::function<void()> on_complete;
+    // obs trace context (set only while tracing is enabled).
+    const char* trace_name = nullptr;
+    Seconds start = 0;
+    Bytes total = 0;
   };
 
   // Link layout: [0, N) node up, [N, 2N) node down,
@@ -99,9 +103,11 @@ class Network {
   }
 
   // Registers a flow over the given links (common path of start_transfer /
-  // start_disk_read).
+  // start_disk_read).  `trace_name` labels the flow's span in traces.
   TransferId start_flow(std::vector<int> links, Bytes size,
-                        std::function<void()> on_complete);
+                        std::function<void()> on_complete,
+                        const char* trace_name);
+  void trace_active_flows() const;
 
   void advance_flows();
   void recompute_rates();

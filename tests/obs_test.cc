@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace ear::obs {
+namespace {
+
+// Minimal recursive-descent JSON validator (RFC 8259 grammar, no semantic
+// interpretation), so the Chrome-trace export can be parsed back without an
+// external JSON dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool eof() const { return pos_ >= s_.size(); }
+  char peek() const { return s_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (eof() || peek() != *p) return false;
+    }
+    return true;
+  }
+
+  bool string() {
+    if (eof() || peek() != '"') return false;
+    ++pos_;
+    while (!eof() && peek() != '"') {
+      if (static_cast<unsigned char>(peek()) < 0x20) return false;
+      if (peek() == '\\') {
+        ++pos_;
+        if (eof()) return false;
+        const char e = peek();
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (eof() || std::isxdigit(static_cast<unsigned char>(peek())) == 0)
+              return false;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (eof()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool digits() {
+    if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0)
+      return false;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    return true;
+  }
+
+  bool number() {
+    if (!eof() && peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool members(char close, bool with_keys) {
+    skip_ws();
+    if (!eof() && peek() == close) {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (with_keys) {
+        if (!string()) return false;
+        skip_ws();
+        if (eof() || peek() != ':') return false;
+        ++pos_;
+        skip_ws();
+      }
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return false;
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == close) {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{':
+        ++pos_;
+        return members('}', /*with_keys=*/true);
+      case '[':
+        ++pos_;
+        return members(']', /*with_keys=*/false);
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void enable(bool metrics, bool trace) {
+  Config cfg;
+  cfg.metrics = metrics;
+  cfg.trace = trace;
+  init(cfg);
+}
+
+TEST(ObsMetrics, ConcurrentCounterSumsExactly) {
+  enable(/*metrics=*/true, /*trace=*/false);
+  Counter& c = Registry::instance().counter("test.concurrent");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kIters; ++i) c.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), int64_t{kThreads} * kIters);
+  shutdown();
+}
+
+TEST(ObsMetrics, HistogramBucketBoundaries) {
+  enable(true, false);
+  Histogram& h =
+      Registry::instance().histogram("test.hist_bounds", {1.0, 2.0, 5.0});
+  h.reset();
+  // Bucket semantics: bucket i counts v <= bounds[i] (and > bounds[i-1]).
+  h.record(0.5);  // bucket 0
+  h.record(1.0);  // bucket 0 (le boundary)
+  h.record(1.5);  // bucket 1
+  h.record(2.0);  // bucket 1
+  h.record(5.0);  // bucket 2
+  h.record(7.0);  // overflow
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(1), 2);
+  EXPECT_EQ(h.bucket_count(2), 1);
+  EXPECT_EQ(h.bucket_count(3), 1);
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 7.0);
+  shutdown();
+}
+
+TEST(ObsMetrics, SameNameReturnsSameInstrument) {
+  enable(true, false);
+  Counter& a = Registry::instance().counter("test.identity");
+  Counter& b = Registry::instance().counter("test.identity");
+  EXPECT_EQ(&a, &b);
+  // Histogram bounds are fixed by the first registration.
+  Histogram& h1 = Registry::instance().histogram("test.hist_id", {1.0, 2.0});
+  Histogram& h2 = Registry::instance().histogram("test.hist_id", {9.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+  shutdown();
+}
+
+TEST(ObsMetrics, GaugeSetMaxKeepsHighWaterMark) {
+  enable(true, false);
+  Gauge& g = Registry::instance().gauge("test.gauge_max");
+  g.reset();
+  g.set_max(2.0);
+  g.set_max(5.0);
+  g.set_max(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.set(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  shutdown();
+}
+
+TEST(ObsMetrics, DisabledMutatorsAreNoOps) {
+  enable(true, false);
+  Counter& c = Registry::instance().counter("test.disabled");
+  Gauge& g = Registry::instance().gauge("test.disabled_gauge");
+  Histogram& h = Registry::instance().histogram("test.disabled_hist", {1.0});
+  c.reset();
+  g.reset();
+  h.reset();
+  shutdown();
+  c.add(42);
+  g.set(3.0);
+  h.record(0.5);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0);
+}
+
+TEST(ObsMetrics, DumpsContainRegisteredInstruments) {
+  enable(true, false);
+  Counter& c = Registry::instance().counter("test.dump_counter");
+  c.reset();
+  c.add(7);
+  const std::string text = Registry::instance().to_text();
+  EXPECT_NE(text.find("counter test.dump_counter 7"), std::string::npos);
+  const std::string json = Registry::instance().to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"test.dump_counter\":7"), std::string::npos);
+  shutdown();
+}
+
+TEST(ObsTrace, ChromeTraceJsonParsesBack) {
+  enable(true, true);
+  trace_reset();
+  set_current_thread_name("obs-test-main");
+  set_sim_track_name(3, "track \"three\"\\");
+  {
+    Span span("span.with.args", "test");
+    span.arg("bytes", 123);
+    span.arg("neg", -45);
+  }
+  trace_instant("quote\"and\\slash", "test", {{"k", 1}});
+  trace_counter("test.counter", {{"a", 1}, {"b", 2}});
+  sim_complete("sim.span", "test", 1.5, 2.5, 3, {{"x", 9}});
+  sim_instant("sim.mark", "test", 2.0, 3);
+  ASSERT_GE(trace_event_count(), 5u);
+
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("span.with.args"), std::string::npos);
+  EXPECT_NE(json.find("quote\\\"and\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("testbed (real time)"), std::string::npos);
+  EXPECT_NE(json.find("simulator (virtual time)"), std::string::npos);
+  // sim.span: 1.5s..2.5s -> ts 1500000 us, dur 1000000 us on pid kSimPid.
+  EXPECT_NE(json.find("\"ts\":1500000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1000000"), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "/obs_trace.json";
+  ASSERT_TRUE(write_chrome_trace(path));
+  EXPECT_EQ(slurp(path), json);
+  std::remove(path.c_str());
+  trace_reset();
+  shutdown();
+}
+
+TEST(ObsTrace, SpanRecordsArgsAndDuration) {
+  enable(false, true);
+  trace_reset();
+  {
+    Span span("arg.span", "test");
+    span.arg("alpha", 11);
+    span.arg("beta", 22);
+  }
+  const std::vector<TraceEvent> events = trace_snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const TraceEvent& ev = events[0];
+  EXPECT_STREQ(ev.name, "arg.span");
+  EXPECT_EQ(ev.ph, 'X');
+  EXPECT_EQ(ev.pid, kRealPid);
+  EXPECT_GE(ev.dur_us, 0);
+  ASSERT_EQ(ev.arg_count, 2);
+  EXPECT_STREQ(ev.arg_keys[0], "alpha");
+  EXPECT_EQ(ev.arg_values[0], 11);
+  EXPECT_STREQ(ev.arg_keys[1], "beta");
+  EXPECT_EQ(ev.arg_values[1], 22);
+  trace_reset();
+  shutdown();
+}
+
+TEST(ObsTrace, DisabledTracingRecordsNothing) {
+  enable(false, false);
+  trace_reset();
+  {
+    Span span("dead.span", "test");
+    span.arg("x", 1);
+  }
+  trace_instant("dead.instant", "test");
+  sim_complete("dead.sim", "test", 0.0, 1.0, 0);
+  EXPECT_EQ(trace_event_count(), 0u);
+  EXPECT_FALSE(trace_has_event("dead.span"));
+}
+
+TEST(ObsTrace, WritersFailWithErrnoOnBadPath) {
+  enable(true, true);
+  errno = 0;
+  EXPECT_FALSE(write_chrome_trace("/no/such/dir/trace.json"));
+  EXPECT_EQ(errno, ENOENT);
+  errno = 0;
+  EXPECT_FALSE(write_metrics_text("/no/such/dir/metrics.txt"));
+  EXPECT_EQ(errno, ENOENT);
+  EXPECT_FALSE(write_metrics_json("/no/such/dir/metrics.json"));
+  trace_reset();
+  shutdown();
+}
+
+TEST(ObsTrace, MetricsWritersRoundTrip) {
+  enable(true, false);
+  Counter& c = Registry::instance().counter("test.roundtrip");
+  c.reset();
+  c.add(3);
+  const std::string text_path = ::testing::TempDir() + "/obs_metrics.txt";
+  const std::string json_path = ::testing::TempDir() + "/obs_metrics.json";
+  ASSERT_TRUE(write_metrics_text(text_path));
+  ASSERT_TRUE(write_metrics_json(json_path));
+  EXPECT_NE(slurp(text_path).find("counter test.roundtrip 3"),
+            std::string::npos);
+  const std::string json = slurp(json_path);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  std::remove(text_path.c_str());
+  std::remove(json_path.c_str());
+  shutdown();
+}
+
+TEST(ObsTrace, ResetValuesKeepsReferencesValid) {
+  enable(true, false);
+  Counter& c = Registry::instance().counter("test.reset_keep");
+  c.add(5);
+  Registry::instance().reset_values();
+  EXPECT_EQ(c.value(), 0);
+  c.add(2);  // reference still usable after reset
+  EXPECT_EQ(c.value(), 2);
+  shutdown();
+}
+
+}  // namespace
+}  // namespace ear::obs
