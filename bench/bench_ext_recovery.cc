@@ -8,10 +8,16 @@
 // Part 2 compares Reed-Solomon repair against Local Repairable Codes
 // (Azure-style LRC, the related-work alternative): blocks read, bytes read
 // per repaired block, and storage overhead.
+#include <cerrno>
+#include <cstring>
+
 #include <algorithm>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "common/csv.h"
 #include "common/flags.h"
 #include "erasure/lrc.h"
 #include "placement/ear.h"
@@ -20,9 +26,18 @@ int main(int argc, char** argv) {
   using namespace ear;
   const FlagParser flags(argc, argv);
   const int stripes = static_cast<int>(flags.get_int("stripes", 200));
+  const std::string csv_out = flags.get_string("csv-out", "");
 
   bench::header("Extension: recovery traffic",
                 "cross-rack reads to repair one lost block");
+
+  struct CrossRackRow {
+    int c;
+    int target_racks;
+    double measured;
+    int predicted;
+  };
+  std::vector<CrossRackRow> csv_rows;
 
   // ---- Part 1: EAR placements, varying c -----------------------------------
   const Topology topo(20, 20);
@@ -63,6 +78,25 @@ int main(int argc, char** argv) {
     }
     bench::row("%6d %6d | %22.2f | %10d", c, cfg.target_racks,
                cross_total / repairs, 10 - c);
+    csv_rows.push_back({c, cfg.target_racks, cross_total / repairs, 10 - c});
+  }
+  if (!csv_out.empty()) {
+    CsvWriter csv(csv_out);
+    if (!csv.ok()) {
+      std::fprintf(stderr, "error: cannot open %s: %s\n", csv_out.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    csv.row("c,target_racks,mean_cross_rack_reads,predicted_k_minus_c\n");
+    for (const auto& r : csv_rows) {
+      csv.row("%d,%d,%.4f,%d\n", r.c, r.target_racks, r.measured, r.predicted);
+    }
+    if (!csv.close()) {
+      std::fprintf(stderr, "error: writing %s failed: %s\n", csv_out.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    bench::note("wrote " + csv_out);
   }
   bench::note("analysis model: repairing node co-located with c surviving "
               "blocks -> k - c cross-rack reads");

@@ -29,6 +29,8 @@ MiniCfs::MiniCfs(const CfsConfig& config, std::unique_ptr<Transport> transport)
           &obs::Registry::instance().counter("cfs.stripes_encoded")),
       ctr_degraded_reads_(
           &obs::Registry::instance().counter("cfs.degraded_reads")),
+      ctr_degraded_read_bytes_(
+          &obs::Registry::instance().counter("cfs.degraded_read_bytes")),
       ctr_repairs_(&obs::Registry::instance().counter("cfs.blocks_repaired")),
       hist_encode_s_(&obs::Registry::instance().histogram(
           "cfs.encode_stripe_seconds",
@@ -206,6 +208,8 @@ std::vector<uint8_t> MiniCfs::read_block(BlockId block, NodeId reader) {
   if (static_cast<int>(available_ids.size()) < code_.k()) {
     throw std::runtime_error("stripe unrecoverable: fewer than k live blocks");
   }
+  ctr_degraded_read_bytes_->add(
+      static_cast<int64_t>(available_ids.size()) * config_.block_size);
 
   std::vector<erasure::BlockView> views;
   views.reserve(available_bytes.size());
@@ -371,6 +375,14 @@ void MiniCfs::kill_node(NodeId node) {
 
 void MiniCfs::kill_rack(RackId rack) {
   for (const NodeId n : topo_.nodes_in_rack(rack)) kill_node(n);
+}
+
+void MiniCfs::revive_node(NodeId node) {
+  node_alive_[static_cast<size_t>(node)] = true;
+}
+
+void MiniCfs::revive_rack(RackId rack) {
+  for (const NodeId n : topo_.nodes_in_rack(rack)) revive_node(n);
 }
 
 void MiniCfs::revive_all() {

@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -50,6 +51,22 @@ struct StripeMeta {
   std::vector<BlockId> data_blocks;    // size k
   std::vector<BlockId> parity_blocks;  // size n - k (empty until encoded)
   bool encoded = false;
+};
+
+// Point-in-time view of one block's metadata (see namespace_snapshot()).
+struct BlockStatus {
+  std::vector<NodeId> locations;   // where copies are registered (may be dead)
+  StripeId stripe = kInvalidStripe;
+  int position = -1;               // index in stripe, 0..n-1; -1 if unstriped
+  bool encoded = false;            // the stripe finished encoding
+};
+
+// One-lock snapshot of the NameNode metadata.  Recovery sweeps and the
+// failure/repair subsystem iterate over this instead of taking the NameNode
+// mutex once per block.
+struct NamespaceSnapshot {
+  std::map<BlockId, BlockStatus> blocks;
+  std::map<StripeId, StripeMeta> stripes;
 };
 
 // Full cluster snapshot (see cfs/checkpoint.h).  Plain data so it can be
@@ -123,12 +140,33 @@ class MiniCfs {
   // ---- failure & repair ----------------------------------------------------
   void kill_node(NodeId node);
   void kill_rack(RackId rack);
+  // Revival models a transient failure (a slow node reporting back): the
+  // node rejoins with its block store intact, and any location the NameNode
+  // has not yet pruned becomes servable again.
+  void revive_node(NodeId node);
+  void revive_rack(RackId rack);
   void revive_all();
   bool node_alive(NodeId node) const;
 
   // Reconstructs a lost block of an encoded stripe onto `target` and
   // registers the new location.
   void repair_block(BlockId block, NodeId target);
+
+  // Copies a block from a surviving replica onto `dst` and registers the new
+  // location (pruning dead ones).  Throws std::runtime_error when no live
+  // replica exists.
+  void replicate_block(BlockId block, NodeId dst);
+
+  // Picks a repair destination uniformly at random (seeded RNG) among live
+  // nodes outside `exclude`, preferring racks not in `avoid_racks` and
+  // falling back to any live node.  Returns kInvalidNode when none is left.
+  NodeId pick_repair_target(const std::vector<NodeId>& exclude,
+                            const std::set<RackId>& avoid_racks) const;
+
+  // Racks currently holding a live copy of any block of `block`'s stripe
+  // (rack-fault-tolerant repairs place the rebuilt block elsewhere).  Empty
+  // when the block is not part of a known stripe.
+  std::set<RackId> live_stripe_racks(BlockId block) const;
 
   // Scans every block and restores redundancy after failures (HDFS's
   // ReplicationMonitor + RaidNode block-fixer roles):
@@ -154,6 +192,7 @@ class MiniCfs {
   std::vector<NodeId> block_locations(BlockId block) const;
   std::vector<BlockId> all_blocks() const;
   bool is_block_encoded(BlockId block) const;
+  NamespaceSnapshot namespace_snapshot() const;
   int64_t blocks_stored_on(NodeId node) const;
   int64_t encode_cross_rack_downloads() const {
     return encode_cross_rack_downloads_;
@@ -198,6 +237,7 @@ class MiniCfs {
   obs::Counter* ctr_blocks_written_;
   obs::Counter* ctr_stripes_encoded_;
   obs::Counter* ctr_degraded_reads_;
+  obs::Counter* ctr_degraded_read_bytes_;
   obs::Counter* ctr_repairs_;
   obs::Histogram* hist_encode_s_;
 };

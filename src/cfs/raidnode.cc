@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <exception>
 #include <mutex>
 #include <thread>
 
@@ -47,10 +48,16 @@ EncodeReport RaidNode::encode_stripes(const std::vector<StripeId>& stripes,
           std::lock_guard<std::mutex> lock(report_mu);
           override_encoder = random_node(cfs_->topology(), scatter_rng);
         }
-        {
+        try {
           obs::Span task_span("raid.map_task", "raid");
           task_span.arg("stripe", stripes[i]);
           cfs_->encode_stripe(stripes[i], override_encoder);
+        } catch (const std::exception&) {
+          // A failure mid-job (dead replicas) aborts this stripe only; the
+          // caller retries it after repair.
+          std::lock_guard<std::mutex> lock(report_mu);
+          report.failed.push_back(stripes[i]);
+          continue;
         }
         const double t =
             std::chrono::duration<double>(Clock::now() - job_start).count();
@@ -62,6 +69,7 @@ EncodeReport RaidNode::encode_stripes(const std::vector<StripeId>& stripes,
   for (auto& t : tasks) t.join();
 
   std::sort(report.completion_times.begin(), report.completion_times.end());
+  std::sort(report.failed.begin(), report.failed.end());
   report.duration_s =
       std::chrono::duration<double>(Clock::now() - job_start).count();
   const double encoded_mb = to_mb(cfs_->config().block_size) *

@@ -23,6 +23,11 @@ struct EncodeReport {
   std::vector<double> completion_times;
   int64_t cross_rack_bytes = 0;    // transport delta during the job
   int64_t cross_rack_downloads = 0;  // data blocks fetched across racks
+  // Stripes whose encode threw (e.g. a failure killed every replica of a
+  // data block mid-job).  encode_stripe mutates no metadata before its
+  // download phase succeeds, so these remain sealed and can be retried once
+  // redundancy is restored.
+  std::vector<StripeId> failed;
 };
 
 class RaidNode {

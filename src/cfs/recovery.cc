@@ -26,21 +26,104 @@ bool MiniCfs::is_block_encoded(BlockId block) const {
   return meta != stripe_meta_.end() && meta->second.encoded;
 }
 
+NamespaceSnapshot MiniCfs::namespace_snapshot() const {
+  NamespaceSnapshot snap;
+  std::lock_guard<std::mutex> lock(namenode_mu_);
+  snap.stripes = stripe_meta_;
+  for (const auto& [block, locs] : locations_) {
+    BlockStatus status;
+    status.locations = locs;
+    const auto pos = block_stripe_pos_.find(block);
+    if (pos != block_stripe_pos_.end()) {
+      status.stripe = pos->second.first;
+      status.position = pos->second.second;
+      const auto meta = stripe_meta_.find(status.stripe);
+      status.encoded = meta != stripe_meta_.end() && meta->second.encoded;
+    }
+    snap.blocks.emplace(block, std::move(status));
+  }
+  return snap;
+}
+
+NodeId MiniCfs::pick_repair_target(const std::vector<NodeId>& exclude,
+                                   const std::set<RackId>& avoid_racks) const {
+  std::vector<NodeId> preferred, fallback;
+  for (NodeId n = 0; n < topo_.node_count(); ++n) {
+    if (!node_alive_[static_cast<size_t>(n)]) continue;
+    if (std::find(exclude.begin(), exclude.end(), n) != exclude.end()) {
+      continue;
+    }
+    (avoid_racks.count(topo_.rack_of(n)) ? fallback : preferred).push_back(n);
+  }
+  const std::vector<NodeId>& pool = preferred.empty() ? fallback : preferred;
+  if (pool.empty()) return kInvalidNode;
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  return pool[rng_.index(pool.size())];
+}
+
+std::set<RackId> MiniCfs::live_stripe_racks(BlockId block) const {
+  std::set<RackId> racks;
+  std::lock_guard<std::mutex> lock(namenode_mu_);
+  const auto pos = block_stripe_pos_.find(block);
+  if (pos == block_stripe_pos_.end()) return racks;
+  const auto meta = stripe_meta_.find(pos->second.first);
+  if (meta == stripe_meta_.end()) return racks;
+  std::vector<BlockId> siblings = meta->second.data_blocks;
+  siblings.insert(siblings.end(), meta->second.parity_blocks.begin(),
+                  meta->second.parity_blocks.end());
+  for (const BlockId sibling : siblings) {
+    const auto it = locations_.find(sibling);
+    if (it == locations_.end()) continue;
+    for (const NodeId n : it->second) {
+      if (node_alive_[static_cast<size_t>(n)]) {
+        racks.insert(topo_.rack_of(n));
+      }
+    }
+  }
+  return racks;
+}
+
+void MiniCfs::replicate_block(BlockId block, NodeId dst) {
+  std::vector<NodeId> locs = block_locations(block);
+  std::vector<NodeId> live;
+  for (const NodeId n : locs) {
+    if (n != dst && node_alive_[static_cast<size_t>(n)]) live.push_back(n);
+  }
+  if (live.empty()) {
+    throw std::runtime_error("no live replica to copy block " +
+                             std::to_string(block));
+  }
+  const NodeId src = pick_source(live, dst, /*count=*/false);
+  transport_->transfer(src, dst, config_.block_size);
+  store(dst, block, fetch(src, block));
+  std::lock_guard<std::mutex> lock(namenode_mu_);
+  auto& registered = locations_[block];
+  registered.erase(std::remove_if(registered.begin(), registered.end(),
+                                  [this](NodeId n) {
+                                    return !node_alive_[static_cast<size_t>(n)];
+                                  }),
+                   registered.end());
+  if (std::find(registered.begin(), registered.end(), dst) ==
+      registered.end()) {
+    registered.push_back(dst);
+  }
+}
+
 MiniCfs::RecoveryReport MiniCfs::restore_redundancy() {
   RecoveryReport report;
-  const std::vector<BlockId> blocks = all_blocks();
+  // One NameNode lock per pass, not one per block: repairs then re-verify
+  // per block through repair_block/replicate_block, which lock as needed.
+  const NamespaceSnapshot snap = namespace_snapshot();
 
-  for (const BlockId block : blocks) {
-    std::vector<NodeId> locs = block_locations(block);
+  for (const auto& [block, status] : snap.blocks) {
     std::vector<NodeId> live;
-    for (const NodeId n : locs) {
+    for (const NodeId n : status.locations) {
       if (node_alive_[static_cast<size_t>(n)]) live.push_back(n);
     }
-    const bool encoded = is_block_encoded(block);
-    const int target = encoded ? 1 : config_.placement.replication;
+    const int target = status.encoded ? 1 : config_.placement.replication;
     if (static_cast<int>(live.size()) >= target) {
       // Still prune dead locations so later reads don't retry them.
-      if (live.size() != locs.size()) {
+      if (live.size() != status.locations.size()) {
         std::lock_guard<std::mutex> lock(namenode_mu_);
         locations_[block] = live;
       }
@@ -48,46 +131,27 @@ MiniCfs::RecoveryReport MiniCfs::restore_redundancy() {
     }
 
     if (live.empty()) {
-      if (!encoded) {
+      if (!status.encoded) {
         ++report.unrecoverable;
         continue;
       }
-      // Rebuild via erasure decoding onto a fresh live node, preferring a
-      // rack holding no other block of the stripe.
+      // Rebuild via erasure decoding onto a fresh live node picked uniformly
+      // at random, preferring a rack holding no other block of the stripe.
       std::set<RackId> used_racks;
-      {
-        std::lock_guard<std::mutex> lock(namenode_mu_);
-        const StripeId stripe = block_stripe_pos_.at(block).first;
-        const StripeMeta& meta = stripe_meta_.at(stripe);
-        std::vector<BlockId> siblings = meta.data_blocks;
-        siblings.insert(siblings.end(), meta.parity_blocks.begin(),
-                        meta.parity_blocks.end());
-        for (const BlockId sibling : siblings) {
-          const auto it = locations_.find(sibling);
-          if (it == locations_.end()) continue;
-          for (const NodeId n : it->second) {
-            if (node_alive_[static_cast<size_t>(n)]) {
-              used_racks.insert(topo_.rack_of(n));
-            }
-          }
-        }
-      }
-      NodeId target_node = kInvalidNode;
-      for (NodeId n = 0; n < topo_.node_count(); ++n) {
-        if (node_alive_[static_cast<size_t>(n)] &&
-            !used_racks.count(topo_.rack_of(n))) {
-          target_node = n;
-          break;
-        }
-      }
-      if (target_node == kInvalidNode) {
-        for (NodeId n = 0; n < topo_.node_count(); ++n) {
+      const StripeMeta& meta = snap.stripes.at(status.stripe);
+      std::vector<BlockId> siblings = meta.data_blocks;
+      siblings.insert(siblings.end(), meta.parity_blocks.begin(),
+                      meta.parity_blocks.end());
+      for (const BlockId sibling : siblings) {
+        const auto it = snap.blocks.find(sibling);
+        if (it == snap.blocks.end()) continue;
+        for (const NodeId n : it->second.locations) {
           if (node_alive_[static_cast<size_t>(n)]) {
-            target_node = n;
-            break;
+            used_racks.insert(topo_.rack_of(n));
           }
         }
       }
+      const NodeId target_node = pick_repair_target({}, used_racks);
       if (target_node == kInvalidNode) {
         ++report.unrecoverable;
         continue;
@@ -101,34 +165,14 @@ MiniCfs::RecoveryReport MiniCfs::restore_redundancy() {
       continue;
     }
 
-    // Under-replicated: copy from a live replica onto fresh nodes,
-    // preferring racks not already holding a copy.
+    // Under-replicated: copy from a live replica onto fresh nodes picked
+    // uniformly at random, preferring racks not already holding a copy.
     while (static_cast<int>(live.size()) < target) {
       std::set<RackId> used;
       for (const NodeId n : live) used.insert(topo_.rack_of(n));
-      NodeId dst = kInvalidNode;
-      for (NodeId n = 0; n < topo_.node_count(); ++n) {
-        if (!node_alive_[static_cast<size_t>(n)]) continue;
-        if (std::find(live.begin(), live.end(), n) != live.end()) continue;
-        if (!used.count(topo_.rack_of(n))) {
-          dst = n;
-          break;
-        }
-      }
-      if (dst == kInvalidNode) {
-        for (NodeId n = 0; n < topo_.node_count(); ++n) {
-          if (node_alive_[static_cast<size_t>(n)] &&
-              std::find(live.begin(), live.end(), n) == live.end()) {
-            dst = n;
-            break;
-          }
-        }
-      }
+      const NodeId dst = pick_repair_target(live, used);
       if (dst == kInvalidNode) break;  // cluster too degraded to reach r
-
-      const NodeId src = live[0];
-      transport_->transfer(src, dst, config_.block_size);
-      store(dst, block, fetch(src, block));
+      replicate_block(block, dst);
       live.push_back(dst);
       ++report.re_replicated;
     }

@@ -1,0 +1,56 @@
+// CSV output with honest I/O error reporting.
+//
+// A thin stdio wrapper shared by the sim exporters and the benches.  The
+// important part is close(): buffered-write failures (ENOSPC on a full disk,
+// EDQUOT over quota) often surface only when the stream is flushed, so a
+// writer that ignores fclose() silently truncates result files.  close()
+// checks both the stream error flag and the fclose() return, leaving errno
+// set for the caller's diagnostic.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace ear {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path)
+      : handle_(std::fopen(path.c_str(), "w")) {}
+  ~CsvWriter() {
+    if (handle_) std::fclose(handle_);
+  }
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool ok() const { return handle_ != nullptr; }
+  std::FILE* get() { return handle_; }
+
+  // printf-style row (caller supplies the commas and newline).
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((format(printf, 2, 3)))
+#endif
+  void row(const char* fmt, ...) {
+    if (!handle_) return;
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(handle_, fmt, args);
+    va_end(args);
+  }
+
+  // Flushes and closes, reporting deferred write errors.  Leaves errno set
+  // on failure.  Safe to call once; ok() is false afterwards.
+  bool close() {
+    if (!handle_) return false;
+    const bool had_error = std::ferror(handle_) != 0;
+    const bool close_failed = std::fclose(handle_) != 0;
+    handle_ = nullptr;
+    return !had_error && !close_failed;
+  }
+
+ private:
+  std::FILE* handle_;
+};
+
+}  // namespace ear

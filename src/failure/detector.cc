@@ -1,0 +1,139 @@
+#include "failure/detector.h"
+
+#include "cfs/minicfs.h"
+#include "obs/trace.h"
+
+namespace ear::failure {
+
+FailureDetector::FailureDetector(int node_count, const DetectorConfig& config,
+                                 ClockFn clock)
+    : config_(config),
+      clock_(std::move(clock)),
+      epoch_(std::chrono::steady_clock::now()),
+      gauge_down_(&obs::Registry::instance().gauge("detector.nodes_down")),
+      ctr_false_positives_(
+          &obs::Registry::instance().counter("detector.false_positives")) {
+  last_heartbeat_.assign(static_cast<size_t>(node_count), now());
+  down_.assign(static_cast<size_t>(node_count), false);
+}
+
+FailureDetector::~FailureDetector() { stop(); }
+
+Seconds FailureDetector::now() const {
+  if (clock_) return clock_();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void FailureDetector::record_heartbeat(NodeId node) {
+  const Seconds t = now();
+  std::lock_guard<std::mutex> lock(mu_);
+  last_heartbeat_[static_cast<size_t>(node)] = t;
+  if (down_[static_cast<size_t>(node)]) {
+    // The node was declared dead but is alive after all: reinstate it and
+    // surface the contradiction at the next poll.
+    down_[static_cast<size_t>(node)] = false;
+    pending_.push_back({node, /*down=*/false, t});
+    false_positives_.fetch_add(1, std::memory_order_relaxed);
+    ctr_false_positives_->add();
+  }
+}
+
+std::vector<FailureDetector::Event> FailureDetector::poll() {
+  const Seconds t = now();
+  std::vector<Event> events;
+  int down_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events.swap(pending_);
+    for (size_t n = 0; n < down_.size(); ++n) {
+      if (!down_[n] && t - last_heartbeat_[n] > config_.timeout) {
+        down_[n] = true;
+        events.push_back({static_cast<NodeId>(n), /*down=*/true, t});
+      }
+      if (down_[n]) ++down_count;
+    }
+  }
+  gauge_down_->set(down_count);
+  for (const Event& ev : events) {
+    obs::trace_instant(ev.down ? "detector.node_down" : "detector.node_up",
+                       "failure", {{"node", ev.node}});
+  }
+  return events;
+}
+
+bool FailureDetector::is_down(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return down_[static_cast<size_t>(node)];
+}
+
+std::vector<NodeId> FailureDetector::down_nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NodeId> out;
+  for (size_t n = 0; n < down_.size(); ++n) {
+    if (down_[n]) out.push_back(static_cast<NodeId>(n));
+  }
+  return out;
+}
+
+void FailureDetector::start(std::function<void(const Event&)> on_event) {
+  thread_ = std::thread([this, on_event = std::move(on_event)] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock,
+                   std::chrono::duration<double>(config_.check_interval),
+                   [this] { return stop_; });
+      if (stop_) break;
+      lock.unlock();
+      for (const Event& ev : poll()) {
+        if (on_event) on_event(ev);
+      }
+      lock.lock();
+    }
+  });
+}
+
+void FailureDetector::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+// ------------------------------------------------------------ HeartbeatPump
+
+HeartbeatPump::HeartbeatPump(cfs::MiniCfs& cfs, FailureDetector& detector,
+                             Seconds period)
+    : cfs_(&cfs), detector_(&detector), period_(period) {}
+
+HeartbeatPump::~HeartbeatPump() { stop(); }
+
+void HeartbeatPump::start() {
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      lock.unlock();
+      const int nodes = cfs_->topology().node_count();
+      for (NodeId n = 0; n < nodes; ++n) {
+        if (cfs_->node_alive(n)) detector_->record_heartbeat(n);
+      }
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::duration<double>(period_),
+                   [this] { return stop_; });
+    }
+  });
+}
+
+void HeartbeatPump::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace ear::failure

@@ -1,0 +1,125 @@
+// Heartbeat failure detection (HDFS NameNode heartbeat protocol).
+//
+// DataNodes report liveness via record_heartbeat(); the detector declares a
+// node down after `timeout` seconds of silence.  Detection is *observed*
+// state, deliberately distinct from MiniCfs ground truth — a slow node can
+// be declared dead and later report back, in which case the detector emits
+// an up-transition and counts a false positive so repair work triggered by
+// the suspicion can be reconciled (RepairManager re-verifies every task
+// against live metadata, so a false positive produces no spurious copies).
+//
+// The time source is pluggable: tests drive a manual clock through the poll
+// API; live deployments call start() for a background polling thread on the
+// steady clock.  HeartbeatPump supplies the DataNode side for MiniCfs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/metrics.h"
+#include "topology/topology.h"
+
+namespace ear::cfs {
+class MiniCfs;
+}
+
+namespace ear::failure {
+
+struct DetectorConfig {
+  Seconds timeout = 0.2;         // silence before a node is declared down
+  Seconds check_interval = 0.05;  // background poll period (start() mode)
+};
+
+class FailureDetector {
+ public:
+  struct Event {
+    NodeId node = kInvalidNode;
+    bool down = false;  // true: declared down; false: reported back
+    Seconds at = 0;
+  };
+
+  using ClockFn = std::function<Seconds()>;
+
+  // `clock` defaults to the steady clock (seconds since construction).
+  FailureDetector(int node_count, const DetectorConfig& config,
+                  ClockFn clock = {});
+  ~FailureDetector();
+
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
+
+  // DataNode side.  Thread-safe.  A heartbeat from a node currently marked
+  // down revives it immediately and counts a false positive.
+  void record_heartbeat(NodeId node);
+
+  // Scans the table once, returning state transitions since the last poll
+  // (up-transitions queued by late heartbeats first).  Thread-safe; tests
+  // call this directly with a manual clock.
+  std::vector<Event> poll();
+
+  bool is_down(NodeId node) const;
+  std::vector<NodeId> down_nodes() const;
+  // Down-declarations later contradicted by a heartbeat.
+  int64_t false_positives() const {
+    return false_positives_.load(std::memory_order_relaxed);
+  }
+
+  // Background polling every check_interval; `on_event` runs on the
+  // detector thread for each transition.
+  void start(std::function<void(const Event&)> on_event);
+  void stop();
+
+ private:
+  Seconds now() const;
+
+  DetectorConfig config_;
+  ClockFn clock_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::vector<Seconds> last_heartbeat_;
+  std::vector<bool> down_;
+  std::vector<Event> pending_;  // up-transitions awaiting the next poll
+  std::atomic<int64_t> false_positives_{0};
+
+  obs::Gauge* gauge_down_;
+  obs::Counter* ctr_false_positives_;
+
+  std::thread thread_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Background thread that heartbeats on behalf of every live MiniCfs node —
+// the in-process stand-in for the DataNode heartbeat RPC.  Killed nodes stop
+// heartbeating, so the detector discovers failures instead of being told.
+class HeartbeatPump {
+ public:
+  HeartbeatPump(cfs::MiniCfs& cfs, FailureDetector& detector, Seconds period);
+  ~HeartbeatPump();
+
+  HeartbeatPump(const HeartbeatPump&) = delete;
+  HeartbeatPump& operator=(const HeartbeatPump&) = delete;
+
+  void start();
+  void stop();
+
+ private:
+  cfs::MiniCfs* cfs_;
+  FailureDetector* detector_;
+  Seconds period_;
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace ear::failure

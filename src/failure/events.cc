@@ -1,0 +1,102 @@
+#include "failure/events.h"
+
+#include <cstdio>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "cfs/minicfs.h"
+
+namespace ear::failure {
+
+bool operator<(const FailureEvent& a, const FailureEvent& b) {
+  return std::tie(a.time, a.kind, a.id) < std::tie(b.time, b.kind, b.id);
+}
+
+bool operator==(const FailureEvent& a, const FailureEvent& b) {
+  return a.time == b.time && a.kind == b.kind && a.id == b.id;
+}
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kNodeFail:
+      return "node_fail";
+    case EventKind::kNodeRecover:
+      return "node_recover";
+    case EventKind::kRackFail:
+      return "rack_fail";
+    case EventKind::kRackRecover:
+      return "rack_recover";
+  }
+  return "unknown";
+}
+
+std::string format_event(const FailureEvent& ev) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t=%.6f %s %d", ev.time,
+                kind_name(ev.kind), ev.id);
+  return buf;
+}
+
+std::optional<FailureEvent> parse_event(const std::string& line) {
+  std::istringstream in(line);
+  std::string time_tok;
+  if (!(in >> time_tok) || time_tok[0] == '#') return std::nullopt;
+  if (time_tok.rfind("t=", 0) == 0) time_tok = time_tok.substr(2);
+  FailureEvent ev;
+  try {
+    ev.time = std::stod(time_tok);
+  } catch (const std::exception&) {
+    throw std::runtime_error("bad failure-trace time: " + line);
+  }
+  std::string kind;
+  if (!(in >> kind >> ev.id)) {
+    throw std::runtime_error("bad failure-trace line: " + line);
+  }
+  if (kind == "node_fail") {
+    ev.kind = EventKind::kNodeFail;
+  } else if (kind == "node_recover") {
+    ev.kind = EventKind::kNodeRecover;
+  } else if (kind == "rack_fail") {
+    ev.kind = EventKind::kRackFail;
+  } else if (kind == "rack_recover") {
+    ev.kind = EventKind::kRackRecover;
+  } else {
+    throw std::runtime_error("unknown failure kind: " + kind);
+  }
+  return ev;
+}
+
+std::vector<FailureEvent> parse_trace(std::istream& in) {
+  std::vector<FailureEvent> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto ev = parse_event(line);
+    if (!ev) continue;
+    if (!events.empty() && ev->time < events.back().time) {
+      throw std::runtime_error("failure trace not time-sorted at: " + line);
+    }
+    events.push_back(*ev);
+  }
+  return events;
+}
+
+void apply_event(cfs::MiniCfs& cfs, const FailureEvent& ev) {
+  switch (ev.kind) {
+    case EventKind::kNodeFail:
+      cfs.kill_node(ev.id);
+      break;
+    case EventKind::kNodeRecover:
+      cfs.revive_node(ev.id);
+      break;
+    case EventKind::kRackFail:
+      cfs.kill_rack(ev.id);
+      break;
+    case EventKind::kRackRecover:
+      cfs.revive_rack(ev.id);
+      break;
+  }
+}
+
+}  // namespace ear::failure

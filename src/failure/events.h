@@ -1,0 +1,61 @@
+// Failure-event vocabulary shared by the whole failure & repair subsystem
+// (see DESIGN.md "Failure & repair").
+//
+// An event is (time, kind, id): a node or rack fails or recovers at a point
+// in simulated time.  Schedules are plain sorted vectors so they can be
+// generated from a stochastic model (failure/process.h), loaded from a trace
+// file, replayed in real time against MiniCfs, or scheduled as virtual-time
+// events on the sim engine — the four drivers all consume the same type.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "topology/topology.h"
+
+namespace ear::cfs {
+class MiniCfs;
+}
+
+namespace ear::failure {
+
+enum class EventKind {
+  kNodeFail,
+  kNodeRecover,
+  kRackFail,
+  kRackRecover,
+};
+
+struct FailureEvent {
+  Seconds time = 0;
+  EventKind kind = EventKind::kNodeFail;
+  int id = 0;  // NodeId for node events, RackId for rack events
+};
+
+// Deterministic total order: (time, kind, id).  Schedules are kept sorted so
+// replays are byte-for-byte reproducible.
+bool operator<(const FailureEvent& a, const FailureEvent& b);
+bool operator==(const FailureEvent& a, const FailureEvent& b);
+
+// "node_fail", "node_recover", "rack_fail", "rack_recover".
+const char* kind_name(EventKind kind);
+
+// "t=12.345678 node_fail 3" — fixed precision so event logs from identical
+// seeds compare byte-identical.
+std::string format_event(const FailureEvent& ev);
+
+// Parses one trace line "<time> <kind> <id>" (the format_event fields with
+// the "t=" prefix optional).  Returns nullopt for blank lines and '#'
+// comments; throws std::runtime_error on malformed input.
+std::optional<FailureEvent> parse_event(const std::string& line);
+
+// Parses a whole trace stream; lines must be non-decreasing in time.
+std::vector<FailureEvent> parse_trace(std::istream& in);
+
+// Applies one event to a live cluster (kill/revive node or rack).
+void apply_event(cfs::MiniCfs& cfs, const FailureEvent& ev);
+
+}  // namespace ear::failure

@@ -1,0 +1,119 @@
+#include "failure/process.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "cfs/minicfs.h"
+#include "common/rng.h"
+#include "sim/engine.h"
+
+namespace ear::failure {
+
+FailureProcess::FailureProcess(const Topology& topo, const FailureModel& model)
+    : topo_(&topo), model_(model) {}
+
+namespace {
+
+// Alternating renewal process: up for exp(mttf), down for exp(mttr).
+void generate_component(Rng rng, Seconds horizon, Seconds mttf, Seconds mttr,
+                        EventKind fail, EventKind recover, int id,
+                        std::vector<FailureEvent>* out) {
+  Seconds t = rng.exponential(mttf);
+  while (t < horizon) {
+    out->push_back({t, fail, id});
+    t += rng.exponential(mttr);
+    if (t >= horizon) break;
+    out->push_back({t, recover, id});
+    t += rng.exponential(mttf);
+  }
+}
+
+}  // namespace
+
+std::vector<FailureEvent> FailureProcess::generate(Seconds horizon) const {
+  std::vector<FailureEvent> events;
+  Rng master(model_.seed);
+  if (model_.node_mttf > 0) {
+    for (NodeId n = 0; n < topo_->node_count(); ++n) {
+      generate_component(master.fork(), horizon, model_.node_mttf,
+                         model_.node_mttr, EventKind::kNodeFail,
+                         EventKind::kNodeRecover, n, &events);
+    }
+  }
+  if (model_.rack_mttf > 0) {
+    for (RackId r = 0; r < topo_->rack_count(); ++r) {
+      generate_component(master.fork(), horizon, model_.rack_mttf,
+                         model_.rack_mttr, EventKind::kRackFail,
+                         EventKind::kRackRecover, r, &events);
+    }
+  }
+  std::sort(events.begin(), events.end());
+  return events;
+}
+
+// ---------------------------------------------------------- real-time driver
+
+RealTimeFailureDriver::RealTimeFailureDriver(cfs::MiniCfs& cfs,
+                                             std::vector<FailureEvent> events,
+                                             double time_compression)
+    : cfs_(&cfs),
+      events_(std::move(events)),
+      time_compression_(time_compression) {
+  std::sort(events_.begin(), events_.end());
+}
+
+RealTimeFailureDriver::~RealTimeFailureDriver() { stop(); }
+
+void RealTimeFailureDriver::start(
+    std::function<void(const FailureEvent&)> on_event) {
+  thread_ = std::thread([this, on_event = std::move(on_event)]() mutable {
+    run(std::move(on_event));
+  });
+}
+
+void RealTimeFailureDriver::run(
+    std::function<void(const FailureEvent&)> on_event) {
+  const auto start = std::chrono::steady_clock::now();
+  for (const FailureEvent& ev : events_) {
+    const auto due =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(ev.time / time_compression_));
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_until(lock, due, [this] { return stop_; });
+      if (stop_) break;
+    }
+    apply_event(*cfs_, ev);
+    applied_.fetch_add(1, std::memory_order_relaxed);
+    if (on_event) on_event(ev);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  done_ = true;
+  cv_.notify_all();
+}
+
+void RealTimeFailureDriver::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+}
+
+void RealTimeFailureDriver::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+// ------------------------------------------------------------- sim scheduling
+
+void schedule_on_engine(sim::Engine& engine,
+                        const std::vector<FailureEvent>& events,
+                        std::function<void(const FailureEvent&)> handler) {
+  for (const FailureEvent& ev : events) {
+    engine.schedule_at(ev.time, [handler, ev] { handler(ev); });
+  }
+}
+
+}  // namespace ear::failure

@@ -1,0 +1,102 @@
+// Failure-event generation and replay drivers.
+//
+// FailureProcess turns an exponential-lifetime model (independent alternating
+// fail/repair renewal processes per node and per rack, the standard Markov
+// reliability assumption used by the Facebook warehouse studies in PAPERS.md)
+// into a deterministic, seed-reproducible event schedule.  The same schedule
+// type also loads from trace files (failure/events.h), so recorded production
+// incidents can be replayed.
+//
+// Two replay drivers cover the repo's two execution layers:
+//  * RealTimeFailureDriver — own thread, applies events to a live MiniCfs
+//    with simulated seconds compressed into wall-clock time;
+//  * schedule_on_engine    — registers every event as a virtual-time event
+//    on the discrete-event sim engine.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/units.h"
+#include "failure/events.h"
+#include "topology/topology.h"
+
+namespace ear::sim {
+class Engine;
+}
+
+namespace ear::failure {
+
+struct FailureModel {
+  Seconds node_mttf = 100;  // mean time to failure per node
+  Seconds node_mttr = 10;   // mean downtime per node failure
+  Seconds rack_mttf = 0;    // per rack; 0 disables whole-rack failures
+  Seconds rack_mttr = 30;
+  uint64_t seed = 1;
+};
+
+class FailureProcess {
+ public:
+  FailureProcess(const Topology& topo, const FailureModel& model);
+
+  // All events in [0, horizon), sorted by (time, kind, id).  Each component
+  // draws from its own forked RNG stream, so the schedule is a pure function
+  // of (topology, model) — identical across calls and runs.
+  std::vector<FailureEvent> generate(Seconds horizon) const;
+
+ private:
+  const Topology* topo_;
+  FailureModel model_;
+};
+
+// Replays a schedule against a live MiniCfs from a background thread.
+// `time_compression` maps schedule seconds to wall seconds: an event at
+// schedule time t fires after t / time_compression wall seconds.
+class RealTimeFailureDriver {
+ public:
+  RealTimeFailureDriver(cfs::MiniCfs& cfs, std::vector<FailureEvent> events,
+                        double time_compression = 1.0);
+  ~RealTimeFailureDriver();
+
+  RealTimeFailureDriver(const RealTimeFailureDriver&) = delete;
+  RealTimeFailureDriver& operator=(const RealTimeFailureDriver&) = delete;
+
+  // Starts replay; `on_event` (optional) runs on the driver thread after
+  // each event is applied.
+  void start(std::function<void(const FailureEvent&)> on_event = {});
+  // Blocks until every event has been applied.
+  void wait();
+  // Stops early (or joins a finished replay).  Idempotent.
+  void stop();
+
+  size_t events_applied() const {
+    return applied_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run(std::function<void(const FailureEvent&)> on_event);
+
+  cfs::MiniCfs* cfs_;
+  std::vector<FailureEvent> events_;
+  double time_compression_;
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool done_ = false;
+  std::atomic<size_t> applied_{0};
+};
+
+// Schedules every event on the virtual-time engine; `handler` runs at
+// ev.time with the engine clock already advanced.
+void schedule_on_engine(sim::Engine& engine,
+                        const std::vector<FailureEvent>& events,
+                        std::function<void(const FailureEvent&)> handler);
+
+}  // namespace ear::failure

@@ -1,0 +1,342 @@
+#include "failure/repair.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/trace.h"
+
+namespace ear::failure {
+
+using Clock = std::chrono::steady_clock;
+
+RepairManager::RepairManager(cfs::MiniCfs& cfs, const RepairConfig& config)
+    : cfs_(&cfs),
+      config_(config),
+      last_refill_(Clock::now()),
+      gauge_queue_depth_(
+          &obs::Registry::instance().gauge("repair.queue_depth")),
+      ctr_repaired_(&obs::Registry::instance().counter("repair.blocks_repaired")),
+      ctr_re_replicated_(
+          &obs::Registry::instance().counter("repair.blocks_re_replicated")),
+      ctr_unrecoverable_(
+          &obs::Registry::instance().counter("repair.blocks_unrecoverable")),
+      ctr_retries_(&obs::Registry::instance().counter("repair.retries")),
+      ctr_bytes_(&obs::Registry::instance().counter("repair.bytes_moved")) {
+  // Allow a burst of a few blocks so single repairs never stall at startup.
+  tokens_ = static_cast<double>(cfs_->config().block_size) * 4;
+}
+
+RepairManager::~RepairManager() { stop(); }
+
+// ------------------------------------------------------------- scheduling
+
+int RepairManager::compute_priority(const cfs::BlockStatus& status,
+                                    const cfs::NamespaceSnapshot& snap) const {
+  int live = 0;
+  for (const NodeId n : status.locations) {
+    if (cfs_->node_alive(n)) ++live;
+  }
+  const int target =
+      status.encoded ? 1 : cfs_->config().placement.replication;
+  if (live >= target) return -1;  // healthy
+  if (live == 0 && status.encoded) {
+    // Lost block of an encoded stripe: urgency is how many more failures the
+    // stripe tolerates before dropping below k live blocks.
+    const auto meta = snap.stripes.find(status.stripe);
+    if (meta == snap.stripes.end()) return 0;
+    std::vector<BlockId> siblings = meta->second.data_blocks;
+    siblings.insert(siblings.end(), meta->second.parity_blocks.begin(),
+                    meta->second.parity_blocks.end());
+    int live_blocks = 0;
+    for (const BlockId sibling : siblings) {
+      const auto it = snap.blocks.find(sibling);
+      if (it == snap.blocks.end()) continue;
+      for (const NodeId n : it->second.locations) {
+        if (cfs_->node_alive(n)) {
+          ++live_blocks;
+          break;
+        }
+      }
+    }
+    return std::max(0, live_blocks - cfs_->config().placement.code.k);
+  }
+  // Replicated (or partially live): one more failure than (live - 1) loses
+  // the block.
+  return std::max(0, live - 1);
+}
+
+void RepairManager::push_task(Task task) {
+  if (queued_.insert(task.block).second) {
+    queue_.emplace(task.priority, task.block);
+  }
+  attempts_[task.block] = task.attempts;
+  gauge_queue_depth_->set(static_cast<double>(queue_.size()));
+}
+
+bool RepairManager::pop_task(Task* task) {
+  if (queue_.empty()) return false;
+  const auto it = queue_.begin();
+  task->priority = it->first;
+  task->block = it->second;
+  queue_.erase(it);
+  queued_.erase(task->block);
+  const auto at = attempts_.find(task->block);
+  task->attempts = at == attempts_.end() ? 0 : at->second;
+  attempts_.erase(task->block);
+  gauge_queue_depth_->set(static_cast<double>(queue_.size()));
+  return true;
+}
+
+int RepairManager::enqueue_snapshot(
+    const cfs::NamespaceSnapshot& snap,
+    const std::function<bool(const cfs::BlockStatus&)>& filter) {
+  int enqueued = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [block, status] : snap.blocks) {
+    if (filter && !filter(status)) continue;
+    const int priority = compute_priority(status, snap);
+    if (priority < 0) continue;
+    if (queued_.count(block)) continue;
+    push_task({priority, block, 0});
+    ++enqueued;
+  }
+  if (enqueued > 0) cv_.notify_all();
+  return enqueued;
+}
+
+int RepairManager::schedule_scan() {
+  return enqueue_snapshot(cfs_->namespace_snapshot(), nullptr);
+}
+
+int RepairManager::schedule_node(NodeId node) {
+  return enqueue_snapshot(
+      cfs_->namespace_snapshot(), [node](const cfs::BlockStatus& status) {
+        return std::find(status.locations.begin(), status.locations.end(),
+                         node) != status.locations.end();
+      });
+}
+
+int RepairManager::schedule_rack(RackId rack) {
+  const Topology& topo = cfs_->topology();
+  return enqueue_snapshot(
+      cfs_->namespace_snapshot(),
+      [&topo, rack](const cfs::BlockStatus& status) {
+        for (const NodeId n : status.locations) {
+          if (topo.rack_of(n) == rack) return true;
+        }
+        return false;
+      });
+}
+
+// -------------------------------------------------------------- execution
+
+void RepairManager::throttle(Bytes bytes, bool live_mode) {
+  const BytesPerSec rate = config_.repair_bandwidth;
+  if (rate <= 0) return;
+  double wait_s = 0;
+  {
+    std::lock_guard<std::mutex> lock(throttle_mu_);
+    const auto now = Clock::now();
+    const double burst = static_cast<double>(cfs_->config().block_size) * 4;
+    tokens_ = std::min(
+        burst,
+        tokens_ + std::chrono::duration<double>(now - last_refill_).count() *
+                      rate);
+    last_refill_ = now;
+    if (tokens_ >= static_cast<double>(bytes)) {
+      tokens_ -= static_cast<double>(bytes);
+    } else {
+      wait_s = (static_cast<double>(bytes) - tokens_) / rate;
+      tokens_ = 0;
+    }
+  }
+  // drain() never sleeps: synchronous mode stays deterministic; the bucket
+  // still meters so live workers resuming later inherit the debt.
+  if (live_mode && wait_s > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+  }
+}
+
+RepairManager::Outcome RepairManager::attempt(const Task& task,
+                                              bool live_mode) {
+  const BlockId block = task.block;
+  obs::Span span("repair.task", "failure");
+  span.arg("block", block);
+  span.arg("priority", task.priority);
+
+  const std::vector<NodeId> locs = cfs_->block_locations(block);
+  if (locs.empty()) return Outcome::kNoop;  // deleted or unknown block
+  const bool encoded = cfs_->is_block_encoded(block);
+  std::vector<NodeId> live;
+  for (const NodeId n : locs) {
+    if (cfs_->node_alive(n)) live.push_back(n);
+  }
+  const int target = encoded ? 1 : cfs_->config().placement.replication;
+  if (static_cast<int>(live.size()) >= target) return Outcome::kNoop;
+
+  const Bytes block_size = cfs_->config().block_size;
+  if (live.empty()) {
+    if (!encoded) return Outcome::kRetry;  // only a revival can save it
+    const std::set<RackId> avoid = cfs_->live_stripe_racks(block);
+    const NodeId dst = cfs_->pick_repair_target({}, avoid);
+    if (dst == kInvalidNode) return Outcome::kRetry;
+    const Bytes moved = block_size * cfs_->config().placement.code.k;
+    throttle(moved, live_mode);
+    try {
+      cfs_->repair_block(block, dst);
+    } catch (const std::runtime_error&) {
+      return Outcome::kRetry;
+    }
+    ctr_repaired_->add();
+    ctr_bytes_->add(moved);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++report_.repaired;
+    report_.bytes_moved += moved;
+    return Outcome::kDone;
+  }
+
+  // Under-replicated: add copies until the target, avoiding used racks.
+  while (static_cast<int>(live.size()) < target) {
+    std::set<RackId> used;
+    for (const NodeId n : live) used.insert(cfs_->topology().rack_of(n));
+    const NodeId dst = cfs_->pick_repair_target(live, used);
+    if (dst == kInvalidNode) return Outcome::kRetry;
+    throttle(block_size, live_mode);
+    try {
+      cfs_->replicate_block(block, dst);
+    } catch (const std::runtime_error&) {
+      return Outcome::kRetry;
+    }
+    live.push_back(dst);
+    ctr_re_replicated_->add();
+    ctr_bytes_->add(block_size);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++report_.re_replicated;
+    report_.bytes_moved += block_size;
+  }
+  return Outcome::kDone;
+}
+
+void RepairManager::finish(const Task& task, Outcome outcome,
+                           bool live_mode) {
+  switch (outcome) {
+    case Outcome::kDone:
+      return;
+    case Outcome::kNoop: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++report_.noop;
+      return;
+    }
+    case Outcome::kUnrecoverable:
+      break;
+    case Outcome::kRetry: {
+      if (task.attempts + 1 < config_.max_attempts) {
+        if (live_mode) {
+          // Exponential backoff, interruptible by stop().
+          const Seconds backoff =
+              config_.retry_backoff * static_cast<double>(1 << task.attempts);
+          std::unique_lock<std::mutex> lock(mu_);
+          cv_.wait_for(lock, std::chrono::duration<double>(backoff),
+                       [this] { return stop_; });
+          if (stop_) return;
+          ++report_.retries;
+          push_task({task.priority, task.block, task.attempts + 1});
+          cv_.notify_all();
+        } else {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++report_.retries;
+          push_task({task.priority, task.block, task.attempts + 1});
+        }
+        ctr_retries_->add();
+        return;
+      }
+      break;
+    }
+  }
+  ctr_unrecoverable_->add();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++report_.unrecoverable;
+}
+
+void RepairManager::worker_loop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      pop_task(&task);
+      ++active_;
+    }
+    if (config_.on_task) config_.on_task(task.block, task.priority);
+    const Outcome outcome = attempt(task, /*live_mode=*/true);
+    finish(task, outcome, /*live_mode=*/true);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void RepairManager::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stop_ = false;
+  for (int w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void RepairManager::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+void RepairManager::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock,
+                [this] { return (queue_.empty() && active_ == 0) || stop_; });
+}
+
+RepairManager::Report RepairManager::drain() {
+  const Report before = report();
+  while (true) {
+    Task task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!pop_task(&task)) break;
+    }
+    if (config_.on_task) config_.on_task(task.block, task.priority);
+    const Outcome outcome = attempt(task, /*live_mode=*/false);
+    finish(task, outcome, /*live_mode=*/false);
+  }
+  const Report after = report();
+  Report delta;
+  delta.re_replicated = after.re_replicated - before.re_replicated;
+  delta.repaired = after.repaired - before.repaired;
+  delta.unrecoverable = after.unrecoverable - before.unrecoverable;
+  delta.noop = after.noop - before.noop;
+  delta.retries = after.retries - before.retries;
+  delta.bytes_moved = after.bytes_moved - before.bytes_moved;
+  return delta;
+}
+
+RepairManager::Report RepairManager::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return report_;
+}
+
+size_t RepairManager::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace ear::failure

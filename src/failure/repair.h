@@ -1,0 +1,144 @@
+// Prioritized, throttled repair — the replacement for MiniCfs's monolithic
+// restore_redundancy() sweep (HDFS ReplicationMonitor + RaidNode BlockFixer
+// as a continuous service instead of a one-shot pass).
+//
+// Blocks needing work enter a priority queue keyed by *remaining redundancy*:
+// how many further failures the block survives before data loss.  A lost
+// block of a stripe with exactly k live blocks, or a replicated block down to
+// one copy, has priority 0 and is repaired first.  Workers (bounded
+// concurrency) re-verify every task against live NameNode metadata before
+// acting, so stale queue entries — e.g. from a detector false positive or a
+// node that recovered mid-queue — degrade to no-ops instead of spurious
+// copies.  Failures mid-repair (sources dying under the reader) retry with
+// exponential backoff up to max_attempts.
+//
+// All data movement goes through the MiniCfs Transport; an optional token
+// bucket caps aggregate repair bandwidth on top of it, modelling HDFS's
+// dfs.datanode.balance / replication throttles so repair traffic cannot
+// starve foreground work.
+//
+// Two execution modes:
+//  * start()/stop() — live worker threads (testbed chaos runs);
+//  * drain()        — processes the whole queue synchronously on the caller
+//    thread in strict priority order, deterministically (benches, sim).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cfs/minicfs.h"
+#include "common/units.h"
+#include "obs/metrics.h"
+
+namespace ear::failure {
+
+struct RepairConfig {
+  int workers = 2;            // live-mode repair concurrency
+  int max_attempts = 3;       // attempts per block before giving up
+  Seconds retry_backoff = 0.005;  // initial backoff, doubles per attempt
+  BytesPerSec repair_bandwidth = 0;  // aggregate cap; 0 = unthrottled
+  // Observability/test hook: runs before each task attempt with the block
+  // and its queue priority (live mode: on the worker thread).
+  std::function<void(BlockId, int)> on_task;
+};
+
+class RepairManager {
+ public:
+  struct Report {
+    int64_t re_replicated = 0;  // replica copies created
+    int64_t repaired = 0;       // blocks rebuilt via decoding
+    int64_t unrecoverable = 0;  // blocks given up on (after retries)
+    int64_t noop = 0;           // tasks already satisfied at re-verification
+    int64_t retries = 0;        // attempts that failed and were requeued
+    int64_t bytes_moved = 0;    // transport bytes charged to repair
+  };
+
+  RepairManager(cfs::MiniCfs& cfs, const RepairConfig& config);
+  ~RepairManager();
+
+  RepairManager(const RepairManager&) = delete;
+  RepairManager& operator=(const RepairManager&) = delete;
+
+  // ---- scheduling (thread-safe) -------------------------------------------
+  // Scans the namespace once (one NameNode lock) and enqueues every block
+  // below its redundancy target.  Returns the number of tasks enqueued.
+  int schedule_scan();
+  // Enqueues only blocks with a registered copy on `node` / in `rack` —
+  // the detector-driven path, avoiding full scans per failure.
+  int schedule_node(NodeId node);
+  int schedule_rack(RackId rack);
+
+  // ---- execution ----------------------------------------------------------
+  // Live mode: `workers` threads service the queue until stop().
+  void start();
+  void stop();
+  // Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  // Synchronous mode: processes the entire queue (including retries) on the
+  // calling thread in strict priority order.  Returns the work done by this
+  // call.  Not concurrent with start().
+  Report drain();
+
+  // ---- introspection ------------------------------------------------------
+  Report report() const;  // cumulative over the manager's lifetime
+  size_t queue_depth() const;
+
+ private:
+  struct Task {
+    int priority = 0;  // extra failures tolerable before data loss
+    BlockId block = kInvalidBlock;
+    int attempts = 0;
+  };
+  enum class Outcome { kDone, kNoop, kRetry, kUnrecoverable };
+
+  // Priority of a block given live copy/stripe state; <0 means healthy.
+  int compute_priority(const cfs::BlockStatus& status,
+                       const cfs::NamespaceSnapshot& snap) const;
+  int enqueue_snapshot(const cfs::NamespaceSnapshot& snap,
+                       const std::function<bool(const cfs::BlockStatus&)>&
+                           filter);
+  void push_task(Task task);  // caller holds mu_
+  bool pop_task(Task* task);  // caller holds mu_
+
+  // One repair attempt; re-verifies state, then decodes or re-replicates.
+  Outcome attempt(const Task& task, bool live_mode);
+  void finish(const Task& task, Outcome outcome, bool live_mode);
+  void worker_loop();
+  void throttle(Bytes bytes, bool live_mode);
+
+  cfs::MiniCfs* cfs_;
+  RepairConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // queue non-empty or stopping
+  std::condition_variable idle_cv_;  // queue empty and workers idle
+  std::set<std::pair<int, BlockId>> queue_;  // (priority, block)
+  std::set<BlockId> queued_;                 // dedupe
+  std::map<BlockId, int> attempts_;          // retry counts for queued blocks
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool stop_ = false;
+  Report report_;
+
+  std::mutex throttle_mu_;
+  double tokens_ = 0;
+  std::chrono::steady_clock::time_point last_refill_;
+
+  obs::Gauge* gauge_queue_depth_;
+  obs::Counter* ctr_repaired_;
+  obs::Counter* ctr_re_replicated_;
+  obs::Counter* ctr_unrecoverable_;
+  obs::Counter* ctr_retries_;
+  obs::Counter* ctr_bytes_;
+};
+
+}  // namespace ear::failure

@@ -2,42 +2,13 @@
 
 #include <cstdio>
 
+#include "common/csv.h"
+
 namespace ear::sim {
-
-namespace {
-
-class File {
- public:
-  explicit File(const std::string& path)
-      : handle_(std::fopen(path.c_str(), "w")) {}
-  ~File() {
-    if (handle_) std::fclose(handle_);
-  }
-  File(const File&) = delete;
-  File& operator=(const File&) = delete;
-
-  bool ok() const { return handle_ != nullptr; }
-  std::FILE* get() { return handle_; }
-
-  // Flushes and closes, reporting deferred write errors (e.g. ENOSPC only
-  // surfaces at flush time).  Leaves errno set on failure.
-  bool close() {
-    if (!handle_) return false;
-    const bool had_error = std::ferror(handle_) != 0;
-    const bool close_failed = std::fclose(handle_) != 0;
-    handle_ = nullptr;
-    return !had_error && !close_failed;
-  }
-
- private:
-  std::FILE* handle_;
-};
-
-}  // namespace
 
 bool write_stripe_completion_csv(const SimResult& result,
                                  const std::string& path) {
-  File f(path);
+  CsvWriter f(path);
   if (!f.ok()) return false;
   std::fprintf(f.get(), "time_s,stripes_encoded\n");
   for (const auto& [t, count] : result.stripe_completions) {
@@ -48,7 +19,7 @@ bool write_stripe_completion_csv(const SimResult& result,
 
 bool write_response_times_csv(const SimResult& result,
                               const std::string& path) {
-  File f(path);
+  CsvWriter f(path);
   if (!f.ok()) return false;
   std::fprintf(f.get(), "phase,response_s\n");
   for (const double r : result.write_response_before.samples()) {
