@@ -15,7 +15,10 @@
 int main(int argc, char** argv) {
   using namespace ear;
   const FlagParser flags(argc, argv);
-  const int runs = static_cast<int>(flags.get_int("runs", 3));
+  // --smoke: tiny one-config run for CI sanitizer jobs — exercises the full
+  // staged encode pipeline end to end in a few seconds, not a benchmark.
+  const bool smoke = flags.get_bool("smoke");
+  const int runs = smoke ? 1 : static_cast<int>(flags.get_int("runs", 3));
   const bench::ObsOutputs obs_out = bench::obs_from_flags(flags);
 
   bench::header("Figure 8(a)",
@@ -24,7 +27,9 @@ int main(int argc, char** argv) {
   bench::row("%8s | %22s | %22s | %8s", "(n,k)", "RR MB/s (min..max)",
              "EAR MB/s (min..max)", "gain");
 
-  for (const int k : std::vector<int>{4, 6, 8, 10}) {
+  const std::vector<int> ks = smoke ? std::vector<int>{4}
+                                    : std::vector<int>{4, 6, 8, 10};
+  for (const int k : ks) {
     Summary rr, ear_s;
     for (int run = 0; run < runs; ++run) {
       for (const bool use_ear : {false, true}) {
@@ -32,6 +37,14 @@ int main(int argc, char** argv) {
         params.k = k;
         params.n = k + 2;
         params.seed = static_cast<uint64_t>(run * 2 + 1);
+        if (smoke) {
+          params.stripes = 3;
+          params.block_size = 256_KB;
+          params.throttle.chunk_size = 64_KB;
+          params.throttle.node_bw = 100e6;
+          params.throttle.rack_uplink_bw = 100e6;
+          params.throttle.disk_bw = 130e6;
+        }
         auto testbed = bench::make_loaded_testbed(params, use_ear);
         cfs::RaidNode raid(*testbed.cfs, /*map_slots=*/12);
         const cfs::EncodeReport report =

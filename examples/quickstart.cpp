@@ -73,7 +73,8 @@ int main() {
               (long)victim);
 
   const NodeId reader = (dead + 1) % topo.node_count();
-  const std::vector<uint8_t> recovered = cluster.read_block(victim, reader);
+  const ear::datapath::BlockBuffer recovered =
+      cluster.read_block(victim, reader);
   std::printf("degraded read of block %ld: %s\n", (long)victim,
               recovered == contents.at(victim) ? "content matches original"
                                                : "CORRUPTED");

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <span>
 #include <stdexcept>
 
 namespace ear::cfs {
@@ -22,7 +23,7 @@ void put_i64(std::vector<uint8_t>& out, int64_t v) {
   put_u64(out, static_cast<uint64_t>(v));
 }
 
-void put_bytes(std::vector<uint8_t>& out, const std::vector<uint8_t>& v) {
+void put_bytes(std::vector<uint8_t>& out, std::span<const uint8_t> v) {
   put_u64(out, v.size());
   out.insert(out.end(), v.begin(), v.end());
 }
@@ -130,7 +131,7 @@ std::vector<uint8_t> save_checkpoint(const MiniCfs& cfs) {
     put_u64(out, store.size());
     for (const auto& [block, data] : store) {
       put_i64(out, block);
-      put_bytes(out, data);
+      put_bytes(out, data.span());
     }
   }
   return out;
@@ -197,7 +198,9 @@ std::unique_ptr<MiniCfs> load_checkpoint(
     const uint64_t blocks = in.u64();
     for (uint64_t j = 0; j < blocks; ++j) {
       const BlockId block = in.i64();
-      image.node_blocks[i].emplace(block, in.bytes());
+      // take() adopts the decoded vector without a byte copy.
+      image.node_blocks[i].emplace(block,
+                                   datapath::BlockBuffer::take(in.bytes()));
     }
   }
 

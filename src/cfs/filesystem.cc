@@ -56,9 +56,11 @@ std::vector<uint8_t> FileSystem::read(const std::string& path,
   }
   std::vector<uint8_t> out;
   for (size_t i = 0; i < meta.blocks.size(); ++i) {
-    std::vector<uint8_t> block = cfs_->read_block(meta.blocks[i], reader);
-    block.resize(static_cast<size_t>(meta.lengths[i]));
-    out.insert(out.end(), block.begin(), block.end());
+    const datapath::BlockBuffer block =
+        cfs_->read_block(meta.blocks[i], reader);
+    const auto payload =
+        block.window(0, static_cast<size_t>(meta.lengths[i]));
+    out.insert(out.end(), payload.begin(), payload.end());
   }
   return out;
 }

@@ -34,13 +34,19 @@ StripeId MiniCfs::write_encoded_stripe(
         "write_encoded_stripe: need at least n racks for c = 1 placement");
   }
 
+  TransferScope in_flight(*this);
+
   // Compute parity at the writer.
-  std::vector<std::vector<uint8_t>> parity(
-      static_cast<size_t>(m),
-      std::vector<uint8_t>(static_cast<size_t>(config_.block_size)));
+  std::vector<datapath::MutableBlockBuffer> parity;
+  parity.reserve(static_cast<size_t>(m));
   {
     std::vector<erasure::BlockView> dv(data.begin(), data.end());
-    std::vector<erasure::MutBlockView> pv(parity.begin(), parity.end());
+    std::vector<erasure::MutBlockView> pv;
+    pv.reserve(static_cast<size_t>(m));
+    for (int j = 0; j < m; ++j) {
+      parity.emplace_back(static_cast<size_t>(config_.block_size));
+      pv.emplace_back(parity.back().span());
+    }
     code_.encode(dv, pv);
   }
 
@@ -84,13 +90,12 @@ StripeId MiniCfs::write_encoded_stripe(
   }
   for (int i = 0; i < k; ++i) {
     store(nodes[static_cast<size_t>(i)], block_ids[static_cast<size_t>(i)],
-          std::vector<uint8_t>(data[static_cast<size_t>(i)].begin(),
-                               data[static_cast<size_t>(i)].end()));
+          datapath::BlockBuffer::copy_of(data[static_cast<size_t>(i)]));
   }
   for (int j = 0; j < m; ++j) {
     store(nodes[static_cast<size_t>(k + j)],
           block_ids[static_cast<size_t>(k + j)],
-          std::move(parity[static_cast<size_t>(j)]));
+          std::move(parity[static_cast<size_t>(j)]).seal());
   }
 
   {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "datapath/pipeline.h"
 #include "obs/trace.h"
 #include "placement/replica_layout.h"
 
@@ -46,13 +47,23 @@ MiniCfs::~MiniCfs() = default;
 
 // ----------------------------------------------------------------- stores
 
-void MiniCfs::store(NodeId node, BlockId block, std::vector<uint8_t> bytes) {
+void MiniCfs::set_transport(std::unique_ptr<Transport> transport) {
+  std::lock_guard<std::mutex> lock(transport_mu_);
+  if (transfers_in_flight_.load(std::memory_order_relaxed) != 0) {
+    throw std::logic_error(
+        "set_transport while data movement is in flight; quiesce workers "
+        "first (see minicfs.h)");
+  }
+  transport_ = std::move(transport);
+}
+
+void MiniCfs::store(NodeId node, BlockId block, datapath::BlockBuffer bytes) {
   DataNode& dn = *datanodes_[static_cast<size_t>(node)];
   std::lock_guard<std::mutex> lock(dn.mu);
   dn.blocks[block] = std::move(bytes);
 }
 
-std::vector<uint8_t> MiniCfs::fetch(NodeId node, BlockId block) const {
+datapath::BlockBuffer MiniCfs::fetch(NodeId node, BlockId block) const {
   const DataNode& dn = *datanodes_[static_cast<size_t>(node)];
   std::lock_guard<std::mutex> lock(dn.mu);
   const auto it = dn.blocks.find(block);
@@ -60,7 +71,7 @@ std::vector<uint8_t> MiniCfs::fetch(NodeId node, BlockId block) const {
     throw std::runtime_error("block " + std::to_string(block) +
                              " not on node " + std::to_string(node));
   }
-  return it->second;
+  return it->second;  // shared reference, no byte copy
 }
 
 void MiniCfs::erase(NodeId node, BlockId block) {
@@ -78,6 +89,7 @@ BlockId MiniCfs::write_block(std::span<const uint8_t> data,
   }
   obs::Span span("cfs.write_block", "cfs");
   span.arg("bytes", config_.block_size);
+  TransferScope in_flight(*this);
 
   BlockPlacement placement;
   int position = 0;
@@ -101,7 +113,8 @@ BlockId MiniCfs::write_block(std::span<const uint8_t> data,
   }
   for (auto& t : hops) t.join();
 
-  std::vector<uint8_t> bytes(data.begin(), data.end());
+  // One physical copy off the caller's buffer; every replica shares it.
+  const datapath::BlockBuffer bytes = datapath::BlockBuffer::copy_of(data);
   for (const NodeId n : replicas) {
     store(n, placement.block, bytes);
   }
@@ -144,7 +157,8 @@ NodeId MiniCfs::pick_source(const std::vector<NodeId>& locations, NodeId dst,
   return kInvalidNode;
 }
 
-std::vector<uint8_t> MiniCfs::read_block(BlockId block, NodeId reader) {
+datapath::BlockBuffer MiniCfs::read_block(BlockId block, NodeId reader) {
+  TransferScope in_flight(*this);
   std::vector<NodeId> locations;
   {
     std::lock_guard<std::mutex> lock(namenode_mu_);
@@ -185,8 +199,12 @@ std::vector<uint8_t> MiniCfs::read_block(BlockId block, NodeId reader) {
                          meta_it->second.parity_blocks.end());
   }
 
+  // Resolve k live sources and take zero-copy references to their stored
+  // bytes up front; the staged pipeline below overlaps the chunked
+  // transfers with the incremental decode.
   std::vector<int> available_ids;
-  std::vector<std::vector<uint8_t>> available_bytes;
+  std::vector<NodeId> sources;
+  std::vector<datapath::BlockBuffer> available_bufs;
   for (int pos = 0;
        pos < static_cast<int>(stripe_blocks.size()) &&
        static_cast<int>(available_ids.size()) < code_.k();
@@ -201,9 +219,9 @@ std::vector<uint8_t> MiniCfs::read_block(BlockId block, NodeId reader) {
     }
     const NodeId s = pick_source(locs, reader, /*count=*/false);
     if (s == kInvalidNode) continue;
-    transport_->transfer(s, reader, config_.block_size);
     available_ids.push_back(pos);
-    available_bytes.push_back(fetch(s, b));
+    sources.push_back(s);
+    available_bufs.push_back(fetch(s, b));
   }
   if (static_cast<int>(available_ids.size()) < code_.k()) {
     throw std::runtime_error("stripe unrecoverable: fewer than k live blocks");
@@ -211,15 +229,31 @@ std::vector<uint8_t> MiniCfs::read_block(BlockId block, NodeId reader) {
   ctr_degraded_read_bytes_->add(
       static_cast<int64_t>(available_ids.size()) * config_.block_size);
 
-  std::vector<erasure::BlockView> views;
-  views.reserve(available_bytes.size());
-  for (const auto& b : available_bytes) views.emplace_back(b);
-  std::vector<uint8_t> out(static_cast<size_t>(config_.block_size));
-  std::vector<erasure::MutBlockView> out_views{out};
-  if (!code_.reconstruct(available_ids, views, {wanted_pos}, out_views)) {
+  erasure::Matrix coeffs;
+  if (!code_.plan_reconstruct(available_ids, {wanted_pos}, &coeffs)) {
     throw std::runtime_error("decode failed (singular matrix?)");
   }
-  return out;
+  std::vector<erasure::BlockView> views;
+  views.reserve(available_bufs.size());
+  for (const auto& b : available_bufs) views.emplace_back(b.span());
+  datapath::MutableBlockBuffer out(static_cast<size_t>(config_.block_size));
+  std::vector<erasure::MutBlockView> out_views{out.span()};
+
+  const datapath::ChunkPlan chunks{config_.block_size,
+                                   transport_->preferred_chunk()};
+  datapath::StagedPipeline::run(
+      chunks.count(),
+      /*fetch=*/
+      [&](int c) {
+        const Bytes len = static_cast<Bytes>(chunks.len(c));
+        for (const NodeId s : sources) transport_->transfer(s, reader, len);
+      },
+      /*compute=*/
+      [&](int c) {
+        erasure::RSCode::decode_chunk(coeffs, views, out_views,
+                                      chunks.offset(c), chunks.len(c));
+      });
+  return std::move(out).seal();
 }
 
 // -------------------------------------------------------------- encoding
@@ -234,6 +268,7 @@ void MiniCfs::encode_stripe(StripeId stripe,
   obs::Span stripe_span("cfs.encode_stripe", "cfs");
   stripe_span.arg("stripe", stripe);
   const int64_t encode_begin_us = obs::now_us();
+  TransferScope in_flight(*this);
   EncodePlan plan;
   std::vector<BlockId> data_blocks;
   std::vector<std::vector<NodeId>> replica_sets;
@@ -255,53 +290,70 @@ void MiniCfs::encode_stripe(StripeId stripe,
   const int k = code_.k();
   const int m = code_.m();
 
-  // Step (i): download one replica of each data block to the encoder.
-  std::vector<std::vector<uint8_t>> data_bytes;
-  data_bytes.reserve(static_cast<size_t>(k));
-  {
-    obs::Span phase("cfs.encode.download", "cfs");
-    phase.arg("stripe", stripe);
-    phase.arg("encoder", plan.encoder);
-    std::vector<std::thread> downloads;
-    data_bytes.resize(static_cast<size_t>(k));
-    std::atomic<bool> failed{false};
-    for (int i = 0; i < k; ++i) {
-      downloads.emplace_back([this, &plan, &data_blocks, &replica_sets,
-                              &data_bytes, &failed, i] {
-        const NodeId src = pick_source(replica_sets[static_cast<size_t>(i)],
-                                       plan.encoder, /*count=*/true);
-        if (src == kInvalidNode) {
-          failed = true;
-          return;
-        }
-        if (src != plan.encoder) {
-          transport_->transfer(src, plan.encoder, config_.block_size);
-        } else {
-          transport_->local_read(src, config_.block_size);
-        }
-        data_bytes[static_cast<size_t>(i)] =
-            fetch(src, data_blocks[static_cast<size_t>(i)]);
-      });
-    }
-    for (auto& t : downloads) t.join();
-    if (failed) {
+  // Resolve one live source per data block and take zero-copy references
+  // to the stored bytes before moving anything, so a dead stripe fails
+  // fast with no metadata mutated.
+  std::vector<NodeId> sources(static_cast<size_t>(k));
+  std::vector<datapath::BlockBuffer> data_bufs;
+  data_bufs.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const NodeId src = pick_source(replica_sets[static_cast<size_t>(i)],
+                                   plan.encoder, /*count=*/true);
+    if (src == kInvalidNode) {
       throw std::runtime_error("no live replica for encoding download");
     }
+    sources[static_cast<size_t>(i)] = src;
+    data_bufs.push_back(fetch(src, data_blocks[static_cast<size_t>(i)]));
   }
 
-  // Step (ii): compute parity over the real bytes and upload.
-  std::vector<std::vector<uint8_t>> parity_bytes(
-      static_cast<size_t>(m),
-      std::vector<uint8_t>(static_cast<size_t>(config_.block_size)));
-  {
-    obs::Span phase("cfs.encode.compute", "cfs");
-    phase.arg("stripe", stripe);
-    std::vector<erasure::BlockView> data_views;
-    for (const auto& b : data_bytes) data_views.emplace_back(b);
-    std::vector<erasure::MutBlockView> parity_views;
-    for (auto& b : parity_bytes) parity_views.emplace_back(b);
-    code_.encode(data_views, parity_views);
+  std::vector<erasure::BlockView> data_views;
+  data_views.reserve(data_bufs.size());
+  for (const auto& b : data_bufs) data_views.emplace_back(b.span());
+  std::vector<datapath::MutableBlockBuffer> parity_bufs;
+  std::vector<erasure::MutBlockView> parity_views;
+  parity_bufs.reserve(static_cast<size_t>(m));
+  parity_views.reserve(static_cast<size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    parity_bufs.emplace_back(static_cast<size_t>(config_.block_size));
+    parity_views.emplace_back(parity_bufs.back().span());
   }
+
+  // Staged pipeline: fetch chunk c of every data block to the encoder,
+  // encode it into the parity windows, and push the finished parity chunks
+  // out — all three stages overlap across chunks, so the upload rides the
+  // encoder's up-link while later fetches still occupy its down-link
+  // (RapidRAID-style encode ≈ k block-times instead of k + m).
+  const datapath::ChunkPlan chunks{config_.block_size,
+                                   transport_->preferred_chunk()};
+  datapath::StagedPipeline::run(
+      chunks.count(),
+      /*fetch=*/
+      [&](int c) {
+        const Bytes len = static_cast<Bytes>(chunks.len(c));
+        for (int i = 0; i < k; ++i) {
+          const NodeId src = sources[static_cast<size_t>(i)];
+          if (src != plan.encoder) {
+            transport_->transfer(src, plan.encoder, len);
+          } else {
+            transport_->local_read(src, len);
+          }
+        }
+      },
+      /*compute=*/
+      [&](int c) {
+        code_.encode_chunk(data_views, parity_views, chunks.offset(c),
+                           chunks.len(c));
+      },
+      /*upload=*/
+      [&](int c) {
+        const Bytes len = static_cast<Bytes>(chunks.len(c));
+        for (int j = 0; j < m; ++j) {
+          const NodeId dst = plan.parity[static_cast<size_t>(j)];
+          if (dst != plan.encoder) {
+            transport_->transfer(plan.encoder, dst, len);
+          }
+        }
+      });
 
   std::vector<BlockId> parity_ids(static_cast<size_t>(m));
   {
@@ -310,21 +362,10 @@ void MiniCfs::encode_stripe(StripeId stripe,
       parity_ids[static_cast<size_t>(j)] = next_block_id_++;
     }
   }
-  {
-    obs::Span phase("cfs.encode.upload", "cfs");
-    phase.arg("stripe", stripe);
-    std::vector<std::thread> uploads;
-    for (int j = 0; j < m; ++j) {
-      uploads.emplace_back([this, &plan, &parity_ids, &parity_bytes, j] {
-        const NodeId dst = plan.parity[static_cast<size_t>(j)];
-        if (dst != plan.encoder) {
-          transport_->transfer(plan.encoder, dst, config_.block_size);
-        }
-        store(dst, parity_ids[static_cast<size_t>(j)],
-              parity_bytes[static_cast<size_t>(j)]);
-      });
-    }
-    for (auto& t : uploads) t.join();
+  for (int j = 0; j < m; ++j) {
+    store(plan.parity[static_cast<size_t>(j)],
+          parity_ids[static_cast<size_t>(j)],
+          std::move(parity_bufs[static_cast<size_t>(j)]).seal());
   }
 
   // Step (iii): delete redundant replicas, register the encoded layout.
@@ -398,7 +439,7 @@ void MiniCfs::repair_block(BlockId block, NodeId target) {
   span.arg("block", block);
   span.arg("target", target);
   ctr_repairs_->add();
-  std::vector<uint8_t> bytes = read_block(block, target);
+  datapath::BlockBuffer bytes = read_block(block, target);
   store(target, block, std::move(bytes));
   std::lock_guard<std::mutex> lock(namenode_mu_);
   auto& locs = locations_[block];

@@ -28,6 +28,7 @@
 
 #include "cfs/transport.h"
 #include "common/rng.h"
+#include "datapath/block_buffer.h"
 #include "erasure/rs.h"
 #include "obs/metrics.h"
 #include "placement/policy.h"
@@ -77,8 +78,10 @@ struct ClusterImage {
   std::map<BlockId, std::vector<NodeId>> locations;
   std::map<StripeId, StripeMeta> stripes;
   std::map<BlockId, std::pair<StripeId, int>> block_positions;
-  // node -> (block -> bytes)
-  std::vector<std::map<BlockId, std::vector<uint8_t>>> node_blocks;
+  // node -> (block -> bytes).  Buffers are shared with the live DataNode
+  // stores (BlockBuffer contents are immutable), so exporting an image
+  // copies metadata only, never block bytes.
+  std::vector<std::map<BlockId, datapath::BlockBuffer>> node_blocks;
 };
 
 class MiniCfs {
@@ -97,9 +100,14 @@ class MiniCfs {
   // Swaps the transport.  Used by benches to pre-load data instantly (the
   // paper's stripes were written long before the measured window) and then
   // switch to the throttled transport for the experiment itself.
-  void set_transport(std::unique_ptr<Transport> transport) {
-    transport_ = std::move(transport);
-  }
+  //
+  // Contract: the swap is serialized against other swaps by an internal
+  // mutex, but it must not race in-flight data movement — every data-moving
+  // operation (write/read/encode/repair/replicate) registers itself for its
+  // full duration, and set_transport throws std::logic_error if any is
+  // still in flight.  Quiesce workers (join RaidNode jobs, stop the
+  // RepairManager) before swapping.
+  void set_transport(std::unique_ptr<Transport> transport);
 
   // ---- client write path -------------------------------------------------
   // Writes one block (must be exactly block_size bytes) with replication.
@@ -119,11 +127,12 @@ class MiniCfs {
       std::optional<NodeId> writer = std::nullopt);
 
   // ---- client read path --------------------------------------------------
-  // Reads a block to `reader`.  Serves from a live replica when one exists;
+  // Reads a block to `reader`.  Serves from a live replica when one exists
+  // (returning a zero-copy reference to the replica's stored buffer);
   // otherwise performs a degraded read, reconstructing from any k live
-  // blocks of the encoded stripe.  Throws std::runtime_error when the block
-  // is unrecoverable.
-  std::vector<uint8_t> read_block(BlockId block, NodeId reader);
+  // blocks of the encoded stripe through the staged chunked pipeline.
+  // Throws std::runtime_error when the block is unrecoverable.
+  datapath::BlockBuffer read_block(BlockId block, NodeId reader);
 
   // ---- encoding (the RaidNode path uses these) ----------------------------
   std::vector<StripeId> sealed_stripes() const;
@@ -201,12 +210,31 @@ class MiniCfs {
  private:
   struct DataNode {
     mutable std::mutex mu;
-    std::map<BlockId, std::vector<uint8_t>> blocks;
+    std::map<BlockId, datapath::BlockBuffer> blocks;
   };
 
-  void store(NodeId node, BlockId block, std::vector<uint8_t> bytes);
-  std::vector<uint8_t> fetch(NodeId node, BlockId block) const;
+  // Zero-copy block store: store() registers a shared buffer reference,
+  // fetch() hands one out; the node's mutex guards only the map, never a
+  // byte copy.
+  void store(NodeId node, BlockId block, datapath::BlockBuffer bytes);
+  datapath::BlockBuffer fetch(NodeId node, BlockId block) const;
   void erase(NodeId node, BlockId block);
+
+  // Registers a data-moving operation for set_transport's in-flight check.
+  class TransferScope {
+   public:
+    explicit TransferScope(const MiniCfs& cfs) : cfs_(&cfs) {
+      cfs_->transfers_in_flight_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~TransferScope() {
+      cfs_->transfers_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    TransferScope(const TransferScope&) = delete;
+    TransferScope& operator=(const TransferScope&) = delete;
+
+   private:
+    const MiniCfs* cfs_;
+  };
 
   // Picks the source replica for a block download to `dst` (local, then
   // same-rack, then any live replica).  Returns kInvalidNode if none live.
@@ -215,6 +243,8 @@ class MiniCfs {
 
   CfsConfig config_;
   Topology topo_;
+  std::mutex transport_mu_;  // serializes set_transport swaps
+  mutable std::atomic<int> transfers_in_flight_{0};
   std::unique_ptr<Transport> transport_;
   std::unique_ptr<PlacementPolicy> policy_;
   erasure::RSCode code_;

@@ -1,13 +1,13 @@
 #include "cfs/raidnode.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <exception>
 #include <mutex>
-#include <thread>
+#include <optional>
 
 #include "common/rng.h"
+#include "datapath/worker_pool.h"
 #include "obs/trace.h"
 #include "placement/replica_layout.h"
 
@@ -27,46 +27,43 @@ EncodeReport RaidNode::encode_stripes(const std::vector<StripeId>& stripes,
   const int64_t cross_before = cfs_->transport().cross_rack_bytes();
   const int64_t downloads_before = cfs_->encode_cross_rack_downloads();
 
-  std::atomic<size_t> next{0};
-  std::mutex report_mu;
-  Rng scatter_rng(0x5ca77e7ULL);
+  // Pre-draw one override encoder per stripe before any worker starts:
+  // the scatter ablation stays deterministic for a given stripe list, and
+  // workers never contend on an RNG mutex mid-job.
+  std::vector<std::optional<NodeId>> overrides(stripes.size());
+  if (scatter_encoders) {
+    Rng scatter_rng(0x5ca77e7ULL);
+    for (auto& o : overrides) {
+      o = random_node(cfs_->topology(), scatter_rng);
+    }
+  }
 
-  const int workers =
-      std::min<int>(map_slots_, static_cast<int>(stripes.size()));
-  std::vector<std::thread> tasks;
-  tasks.reserve(static_cast<size_t>(std::max(workers, 0)));
-  for (int w = 0; w < workers; ++w) {
-    tasks.emplace_back([&, w] {
-      if (obs::trace_enabled()) {
-        obs::set_current_thread_name("map-slot-" + std::to_string(w));
-      }
-      while (true) {
-        const size_t i = next.fetch_add(1);
-        if (i >= stripes.size()) return;
-        std::optional<NodeId> override_encoder;
-        if (scatter_encoders) {
-          std::lock_guard<std::mutex> lock(report_mu);
-          override_encoder = random_node(cfs_->topology(), scatter_rng);
-        }
+  // One map task per stripe on the shared data-path pool, at most
+  // `map_slots` occupying slots at once (HDFS-RAID's map-slot limit).
+  std::mutex report_mu;
+  {
+    datapath::TaskGroup tasks(datapath::WorkerPool::shared(), map_slots_);
+    for (size_t i = 0; i < stripes.size(); ++i) {
+      tasks.submit([&, i] {
         try {
           obs::Span task_span("raid.map_task", "raid");
           task_span.arg("stripe", stripes[i]);
-          cfs_->encode_stripe(stripes[i], override_encoder);
+          cfs_->encode_stripe(stripes[i], overrides[i]);
         } catch (const std::exception&) {
           // A failure mid-job (dead replicas) aborts this stripe only; the
           // caller retries it after repair.
           std::lock_guard<std::mutex> lock(report_mu);
           report.failed.push_back(stripes[i]);
-          continue;
+          return;
         }
         const double t =
             std::chrono::duration<double>(Clock::now() - job_start).count();
         std::lock_guard<std::mutex> lock(report_mu);
         report.completion_times.push_back(t);
-      }
-    });
+      });
+    }
+    tasks.wait();
   }
-  for (auto& t : tasks) t.join();
 
   std::sort(report.completion_times.begin(), report.completion_times.end());
   std::sort(report.failed.begin(), report.failed.end());

@@ -1,8 +1,8 @@
 // RaidNode — coordinates the asynchronous encoding operation (paper §IV-A).
 //
-// Mirrors HDFS-RAID's map-only MapReduce encoding job: `map_slots` worker
-// threads ("map tasks") pull sealed stripes from a shared queue and encode
-// them through MiniCfs::encode_stripe.  Under EAR every plan's encoder node
+// Mirrors HDFS-RAID's map-only MapReduce encoding job: one map task per
+// stripe runs on the shared data-path pool (datapath::WorkerPool), at most
+// `map_slots` concurrently, each encoding through MiniCfs::encode_stripe.  Under EAR every plan's encoder node
 // already sits in the stripe's core rack (the paper's preferred-node +
 // encoding-job-flag JobTracker modifications, §IV-B); the ablation hook
 // `scatter_encoders` disables that and assigns uniformly random encoder

@@ -84,6 +84,7 @@ std::set<RackId> MiniCfs::live_stripe_racks(BlockId block) const {
 }
 
 void MiniCfs::replicate_block(BlockId block, NodeId dst) {
+  TransferScope in_flight(*this);
   std::vector<NodeId> locs = block_locations(block);
   std::vector<NodeId> live;
   for (const NodeId n : locs) {

@@ -49,14 +49,26 @@ class Transport {
     transfer(src, dst, size);
   }
 
+  // Granularity at which the staged data-path pipeline should interleave
+  // transfer and compute (MiniCfs chunks encode/degraded-read at this
+  // size).  0 means chunking buys nothing (instant transports): callers
+  // fall back to one-shot whole-block stages.
+  virtual Bytes preferred_chunk() const { return 0; }
+
   virtual int64_t cross_rack_bytes() const = 0;
   virtual int64_t intra_rack_bytes() const = 0;
 };
 
-// Counts bytes, takes zero time.  For functional tests.
+// Counts bytes, takes zero time.  For functional tests.  A nonzero
+// `preferred_chunk` forces the staged pipeline through its chunked path
+// without the real-time sleeps of ThrottledTransport (parity-equivalence
+// tests).
 class InstantTransport final : public Transport {
  public:
-  explicit InstantTransport(const Topology& topo) : topo_(topo) {}
+  explicit InstantTransport(const Topology& topo, Bytes preferred_chunk = 0)
+      : topo_(topo), preferred_chunk_(preferred_chunk) {}
+
+  Bytes preferred_chunk() const override { return preferred_chunk_; }
 
   void transfer(NodeId src, NodeId dst, Bytes size) override {
     if (src == dst) return;
@@ -72,6 +84,7 @@ class InstantTransport final : public Transport {
 
  private:
   Topology topo_;
+  Bytes preferred_chunk_ = 0;
   std::atomic<int64_t> cross_{0};
   std::atomic<int64_t> intra_{0};
 };
@@ -93,6 +106,8 @@ class ThrottledTransport final : public Transport {
   void transfer(NodeId src, NodeId dst, Bytes size) override;
   void local_read(NodeId node, Bytes size) override;
   void inject(NodeId src, NodeId dst, Bytes size) override;
+
+  Bytes preferred_chunk() const override { return config_.chunk_size; }
 
   int64_t cross_rack_bytes() const override { return cross_; }
   int64_t intra_rack_bytes() const override { return intra_; }

@@ -1,0 +1,36 @@
+#include "datapath/block_buffer.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace ear::datapath {
+
+void count_copy(size_t bytes) {
+  static obs::Counter* ctr =
+      &obs::Registry::instance().counter("datapath.bytes_copied");
+  ctr->add(static_cast<int64_t>(bytes));
+}
+
+BlockBuffer BlockBuffer::copy_of(std::span<const uint8_t> data) {
+  std::shared_ptr<uint8_t[]> bytes(new uint8_t[data.size()]);
+  if (!data.empty()) std::memcpy(bytes.get(), data.data(), data.size());
+  count_copy(data.size());
+  return BlockBuffer(std::move(bytes), data.size());
+}
+
+BlockBuffer BlockBuffer::take(std::vector<uint8_t> data) {
+  // Alias the shared_ptr onto the vector's storage: the control block keeps
+  // the vector alive, the element pointer addresses its bytes — no copy.
+  auto owner = std::make_shared<std::vector<uint8_t>>(std::move(data));
+  std::shared_ptr<const uint8_t[]> bytes(owner, owner->data());
+  return BlockBuffer(std::move(bytes), owner->size());
+}
+
+std::vector<uint8_t> BlockBuffer::to_vector() const {
+  count_copy(size_);
+  return std::vector<uint8_t>(data(), data() + size_);
+}
+
+}  // namespace ear::datapath

@@ -1,0 +1,108 @@
+#include "datapath/pipeline.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ear::datapath {
+
+// -------------------------------------------------------------- ChunkLadder
+
+void ChunkLadder::publish(int upto) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ready_ = std::max(ready_, upto);
+  }
+  cv_.notify_all();
+}
+
+bool ChunkLadder::wait_for(int upto) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this, upto] { return aborted_ || ready_ >= upto; });
+  return ready_ >= upto;
+}
+
+void ChunkLadder::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+int ChunkLadder::ready() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ready_;
+}
+
+// ----------------------------------------------------------- StagedPipeline
+
+void StagedPipeline::run(int chunks, const std::function<void(int)>& fetch,
+                         const std::function<void(int)>& compute,
+                         const std::function<void(int)>& upload) {
+  if (chunks <= 1) {
+    // One-shot path: no stage threads, no handoff.
+    fetch(0);
+    compute(0);
+    if (upload) upload(0);
+    return;
+  }
+
+  static obs::Gauge* gauge_in_flight =
+      &obs::Registry::instance().gauge("datapath.chunks_in_flight");
+
+  ChunkLadder fetched;   // fetch -> compute
+  ChunkLadder computed;  // compute -> upload
+  std::exception_ptr fetch_error;
+
+  std::thread fetcher([&] {
+    obs::Span span("datapath.fetch", "datapath");
+    span.arg("chunks", chunks);
+    try {
+      for (int c = 0; c < chunks; ++c) {
+        fetch(c);
+        fetched.publish(c + 1);
+      }
+    } catch (...) {
+      fetch_error = std::current_exception();
+      fetched.abort();
+    }
+  });
+
+  std::thread uploader;
+  if (upload) {
+    uploader = std::thread([&] {
+      obs::Span span("datapath.upload", "datapath");
+      span.arg("chunks", chunks);
+      for (int c = 0; c < chunks; ++c) {
+        if (!computed.wait_for(c + 1)) return;
+        upload(c);
+      }
+    });
+  }
+
+  {
+    obs::Span span("datapath.compute", "datapath");
+    span.arg("chunks", chunks);
+    for (int c = 0; c < chunks; ++c) {
+      if (!fetched.wait_for(c + 1)) {
+        computed.abort();
+        break;
+      }
+      // Chunks fetched but not yet consumed: > 1 means transfer and compute
+      // are overlapping (the fetch stage ran ahead while we computed).
+      gauge_in_flight->set_max(static_cast<double>(fetched.ready() - c));
+      compute(c);
+      computed.publish(c + 1);
+    }
+  }
+
+  fetcher.join();
+  if (uploader.joinable()) uploader.join();
+  if (fetch_error) std::rethrow_exception(fetch_error);
+}
+
+}  // namespace ear::datapath

@@ -1,0 +1,93 @@
+// Staged chunked pipeline — overlapped fetch → compute → upload for the
+// encode and degraded-read data paths (see DESIGN.md "Data path").
+//
+// The paper's encoder (§IV-C) downloads k blocks, computes parity, then
+// uploads it, each stage waiting for the previous one.  RapidRAID-style
+// pipelining instead streams the block in chunks: the GF(2^8) math for
+// chunk c runs while chunk c+1 is still in flight on the transport, and
+// parity chunk c uploads while chunk c+2 is being fetched.  Fetch and
+// upload use disjoint links (the encoder's down- and up-link), so the
+// three stages genuinely overlap in real time under ThrottledTransport.
+//
+// StagedPipeline::run coordinates the three stages with chunk-granularity
+// handoff; ChunkPlan slices a block into transport-sized windows; the
+// `datapath.chunks_in_flight` gauge records the high-water fetch/compute
+// distance, proving the overlap.
+//
+// The chunked computation must be byte-identical to the one-shot path:
+// callers pass windowed views of the same buffers, and GF(2^8) row
+// operations are bytewise, so chunking never changes the result.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "common/units.h"
+
+namespace ear::datapath {
+
+// Slices [0, block_size) into windows of at most `chunk` bytes.
+// chunk <= 0 (or >= block_size) means a single window: the one-shot path.
+struct ChunkPlan {
+  Bytes block_size = 0;
+  Bytes chunk = 0;
+
+  int count() const {
+    if (block_size <= 0) return 1;
+    if (chunk <= 0 || chunk >= block_size) return 1;
+    return static_cast<int>((block_size + chunk - 1) / chunk);
+  }
+  size_t offset(int c) const {
+    return static_cast<size_t>(c) * static_cast<size_t>(effective_chunk());
+  }
+  size_t len(int c) const {
+    const size_t begin = offset(c);
+    const size_t total = static_cast<size_t>(block_size);
+    const size_t step = static_cast<size_t>(effective_chunk());
+    return begin + step <= total ? step : total - begin;
+  }
+
+ private:
+  Bytes effective_chunk() const {
+    return (chunk <= 0 || chunk >= block_size) ? block_size : chunk;
+  }
+};
+
+// Single-producer progress ladder: the producer publishes "chunks [0, upto)
+// are ready"; consumers block until the chunk they need is ready.  abort()
+// releases every waiter with a failure indication.
+class ChunkLadder {
+ public:
+  void publish(int upto);
+  // Returns false iff the ladder was aborted before `upto` was reached.
+  bool wait_for(int upto);
+  void abort();
+  int ready() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int ready_ = 0;
+  bool aborted_ = false;
+};
+
+class StagedPipeline {
+ public:
+  // Runs `fetch`, `compute` and (optionally) `upload` once per chunk with
+  // chunk-granularity handoff: compute(c) starts as soon as fetch(c) has
+  // finished, upload(c) as soon as compute(c) has.  fetch and upload run on
+  // dedicated stage threads (never on pool slots — a pool task waiting on a
+  // queued pool task could deadlock the bounded pool); compute runs on the
+  // calling thread.  With a single chunk everything runs inline: the
+  // one-shot path has no threading overhead.
+  //
+  // Stage callbacks must not throw, except `fetch`, whose exception aborts
+  // the pipeline and is rethrown to the caller after the stages drain.
+  static void run(int chunks, const std::function<void(int)>& fetch,
+                  const std::function<void(int)>& compute,
+                  const std::function<void(int)>& upload = nullptr);
+};
+
+}  // namespace ear::datapath

@@ -1,0 +1,120 @@
+#include "datapath/worker_pool.h"
+
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ear::datapath {
+
+WorkerPool& WorkerPool::shared() {
+  // Data-path tasks mostly sleep on emulated-network reservations, so the
+  // cap is sized for concurrency, not cores: it must cover the bench
+  // configurations (12 map slots + repair workers + headroom) on any host.
+  static WorkerPool pool(/*max_threads=*/64);
+  return pool;
+}
+
+WorkerPool::WorkerPool(int max_threads) : max_threads_(max_threads) {
+  threads_.reserve(static_cast<size_t>(max_threads));
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+    if (idle_ == 0 && static_cast<int>(threads_.size()) < max_threads_) {
+      spawn_locked();
+    }
+  }
+  cv_.notify_one();
+}
+
+void WorkerPool::spawn_locked() {
+  const int index = static_cast<int>(threads_.size());
+  threads_.emplace_back([this, index] { worker_loop(index); });
+}
+
+void WorkerPool::worker_loop(int index) {
+  obs::set_current_thread_name("datapath-" + std::to_string(index));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    ++idle_;
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    --idle_;
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    std::function<void()> fn = std::move(queue_.front());
+    queue_.pop_front();
+    ++executed_;
+    lock.unlock();
+    fn();
+    lock.lock();
+  }
+}
+
+int WorkerPool::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+int64_t WorkerPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+// ---------------------------------------------------------------- TaskGroup
+
+TaskGroup::TaskGroup(WorkerPool& pool, int max_concurrency)
+    : pool_(&pool), limit_(max_concurrency) {}
+
+TaskGroup::~TaskGroup() { wait(); }
+
+void TaskGroup::submit(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pending_;
+  if (limit_ > 0 && running_ >= limit_) {
+    backlog_.push_back(std::move(fn));
+    return;
+  }
+  ++running_;
+  pool_->submit([this, fn = std::move(fn)]() mutable { run_one(std::move(fn)); });
+}
+
+void TaskGroup::run_one(std::function<void()> fn) {
+  // Chain backlogged tasks onto this pool slot (keeps `running_` at the
+  // limit and avoids re-queueing behind unrelated work).
+  while (true) {
+    fn();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+      if (backlog_.empty()) {
+        --running_;
+        if (pending_ == 0) cv_.notify_all();
+        return;
+      }
+      fn = std::move(backlog_.front());
+      backlog_.pop_front();
+    }
+  }
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace ear::datapath

@@ -1,0 +1,86 @@
+// Shared bounded worker pool — the one place data-path work is scheduled
+// (see DESIGN.md "Data path").
+//
+// RaidNode map tasks and RepairManager drainers submit here instead of
+// spawning ad-hoc std::thread vectors, so the process-wide thread count on
+// the data path stays bounded no matter how many jobs run concurrently.
+// Threads are spawned on demand up to `max_threads` and parked on a
+// condition variable when idle (data-path tasks spend most of their time
+// asleep on emulated-network reservations, so the cap is deliberately much
+// larger than the core count).
+//
+// Tasks must not throw: an escaping exception would terminate the process.
+// Blocking inside a task is allowed (transport sleeps, retry backoff), but
+// a task must never wait on another *queued* pool task — only on work that
+// is already running or runs on a dedicated thread (the staged pipeline's
+// stage threads are dedicated for exactly this reason).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ear::datapath {
+
+class WorkerPool {
+ public:
+  // The process-wide pool used by RaidNode, RepairManager and tests.
+  static WorkerPool& shared();
+
+  explicit WorkerPool(int max_threads);
+  ~WorkerPool();  // drains the queue, then joins every thread
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void submit(std::function<void()> fn);
+
+  int max_threads() const { return max_threads_; }
+  int thread_count() const;     // threads spawned so far
+  int64_t tasks_executed() const;
+
+ private:
+  void spawn_locked();
+  void worker_loop(int index);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int idle_ = 0;
+  int64_t executed_ = 0;
+  bool stop_ = false;
+  const int max_threads_;
+};
+
+// Bounded fan-out of tasks onto a pool: at most `max_concurrency` of this
+// group's tasks occupy pool slots at once (0 = unlimited); the rest wait in
+// a local backlog.  wait() blocks until every submitted task has finished.
+class TaskGroup {
+ public:
+  explicit TaskGroup(WorkerPool& pool, int max_concurrency = 0);
+  ~TaskGroup();  // waits
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void submit(std::function<void()> fn);
+  void wait();
+
+ private:
+  void run_one(std::function<void()> fn);
+
+  WorkerPool* pool_;
+  const int limit_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> backlog_;
+  int running_ = 0;
+  int pending_ = 0;  // running + backlog
+};
+
+}  // namespace ear::datapath

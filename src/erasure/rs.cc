@@ -56,31 +56,55 @@ void apply_rows(const Matrix& coeffs, const std::vector<BlockView>& src,
   }
 }
 
+// Windowed views of each block: bytes [offset, offset + len).
+std::vector<BlockView> sub_views(const std::vector<BlockView>& views,
+                                 size_t offset, size_t len) {
+  std::vector<BlockView> out;
+  out.reserve(views.size());
+  for (const BlockView v : views) out.push_back(v.subspan(offset, len));
+  return out;
+}
+
+std::vector<MutBlockView> sub_views(const std::vector<MutBlockView>& views,
+                                    size_t offset, size_t len) {
+  std::vector<MutBlockView> out;
+  out.reserve(views.size());
+  for (const MutBlockView v : views) out.push_back(v.subspan(offset, len));
+  return out;
+}
+
 }  // namespace
 
 RSCode::RSCode(int n, int k, Construction construction)
     : n_(n), k_(k), construction_(construction),
       generator_(make_generator(n, k, construction)) {
   assert(k >= 1 && k < n && n <= 255);
+  std::vector<int> parity_rows;
+  parity_rows.reserve(static_cast<size_t>(m()));
+  for (int r = k_; r < n_; ++r) parity_rows.push_back(r);
+  parity_coeffs_ = generator_.select_rows(parity_rows);
 }
 
 void RSCode::encode(const std::vector<BlockView>& data,
                     const std::vector<MutBlockView>& parity) const {
   assert(static_cast<int>(data.size()) == k_);
-  assert(static_cast<int>(parity.size()) == m());
-  std::vector<int> parity_rows;
-  parity_rows.reserve(static_cast<size_t>(m()));
-  for (int r = k_; r < n_; ++r) parity_rows.push_back(r);
-  apply_rows(generator_.select_rows(parity_rows), data, parity);
+  const size_t size = data.empty() ? 0 : data.front().size();
+  encode_chunk(data, parity, 0, size);
 }
 
-bool RSCode::reconstruct(const std::vector<int>& available_ids,
-                         const std::vector<BlockView>& available,
-                         const std::vector<int>& wanted_ids,
-                         const std::vector<MutBlockView>& out) const {
+void RSCode::encode_chunk(const std::vector<BlockView>& data,
+                          const std::vector<MutBlockView>& parity,
+                          size_t offset, size_t len) const {
+  assert(static_cast<int>(data.size()) == k_);
+  assert(static_cast<int>(parity.size()) == m());
+  apply_rows(parity_coeffs_, sub_views(data, offset, len),
+             sub_views(parity, offset, len));
+}
+
+bool RSCode::plan_reconstruct(const std::vector<int>& available_ids,
+                              const std::vector<int>& wanted_ids,
+                              Matrix* coeffs) const {
   assert(static_cast<int>(available_ids.size()) == k_);
-  assert(available.size() == available_ids.size());
-  assert(wanted_ids.size() == out.size());
 
   // Rows of the generator for the available blocks map the original data to
   // the available blocks; inverting recovers data coefficients.
@@ -88,8 +112,28 @@ bool RSCode::reconstruct(const std::vector<int>& available_ids,
   if (decode.rows() == 0) return false;
 
   // wanted = G[wanted_rows] * decode * available.
-  const Matrix coeffs = generator_.select_rows(wanted_ids).multiply(decode);
-  apply_rows(coeffs, available, out);
+  *coeffs = generator_.select_rows(wanted_ids).multiply(decode);
+  return true;
+}
+
+void RSCode::decode_chunk(const Matrix& coeffs,
+                          const std::vector<BlockView>& available,
+                          const std::vector<MutBlockView>& out,
+                          size_t offset, size_t len) {
+  apply_rows(coeffs, sub_views(available, offset, len),
+             sub_views(out, offset, len));
+}
+
+bool RSCode::reconstruct(const std::vector<int>& available_ids,
+                         const std::vector<BlockView>& available,
+                         const std::vector<int>& wanted_ids,
+                         const std::vector<MutBlockView>& out) const {
+  assert(available.size() == available_ids.size());
+  assert(wanted_ids.size() == out.size());
+  Matrix coeffs;
+  if (!plan_reconstruct(available_ids, wanted_ids, &coeffs)) return false;
+  const size_t size = available.empty() ? 0 : available.front().size();
+  decode_chunk(coeffs, available, out, 0, size);
   return true;
 }
 

@@ -46,6 +46,30 @@ class RSCode {
   void encode(const std::vector<BlockView>& data,
               const std::vector<MutBlockView>& parity) const;
 
+  // Incremental window API for the staged data-path pipeline: computes
+  // parity bytes [offset, offset + len) from the same window of every data
+  // block.  GF(2^8) row operations are bytewise, so encoding a block
+  // window-by-window is byte-identical to one encode() over the whole
+  // block.  encode() itself is one full-size window.
+  void encode_chunk(const std::vector<BlockView>& data,
+                    const std::vector<MutBlockView>& parity, size_t offset,
+                    size_t len) const;
+
+  // Precomputes the decode coefficient matrix mapping the k available
+  // blocks to `wanted_ids`, so a chunked reconstruction inverts the
+  // generator once, not once per window.  Returns false iff the decode
+  // matrix is singular (a defect for a correct MDS construction).
+  bool plan_reconstruct(const std::vector<int>& available_ids,
+                        const std::vector<int>& wanted_ids,
+                        Matrix* coeffs) const;
+
+  // Applies a plan_reconstruct() plan to one window of the available
+  // blocks; chunked decode is byte-identical to a one-shot reconstruct().
+  static void decode_chunk(const Matrix& coeffs,
+                           const std::vector<BlockView>& available,
+                           const std::vector<MutBlockView>& out,
+                           size_t offset, size_t len);
+
   // Reconstructs the blocks listed in `wanted_ids` (any mix of data and
   // parity indices) from any k available blocks.  `available_ids` must list
   // k distinct block indices in [0, n); `available[i]` is the content of
@@ -67,7 +91,8 @@ class RSCode {
   int n_;
   int k_;
   Construction construction_;
-  Matrix generator_;  // n x k, rows 0..k-1 form the identity
+  Matrix generator_;      // n x k, rows 0..k-1 form the identity
+  Matrix parity_coeffs_;  // bottom m rows of the generator (cached)
 };
 
 }  // namespace ear::erasure

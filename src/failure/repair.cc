@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 
+#include "datapath/worker_pool.h"
 #include "obs/trace.h"
 
 namespace ear::failure {
@@ -100,7 +102,7 @@ int RepairManager::enqueue_snapshot(
     push_task({priority, block, 0});
     ++enqueued;
   }
-  if (enqueued > 0) cv_.notify_all();
+  if (enqueued > 0) pump_locked();
   return enqueued;
 }
 
@@ -258,14 +260,30 @@ void RepairManager::finish(const Task& task, Outcome outcome,
   ++report_.unrecoverable;
 }
 
-void RepairManager::worker_loop() {
+void RepairManager::pump_locked() {
+  if (!running_ || stop_) return;
+  const int wanted = std::min<int>(config_.workers,
+                                   static_cast<int>(queue_.size()));
+  while (drainers_ < wanted) {
+    ++drainers_;
+    datapath::WorkerPool::shared().submit([this] { drainer_loop(); });
+  }
+}
+
+// A drainer services the queue until it runs dry, then exits (pump_locked
+// re-submits one when new work arrives).  It must not throw — it runs as a
+// shared-pool task — and it never waits on another queued pool task, only
+// on the transport and its own retry backoff.
+void RepairManager::drainer_loop() {
   while (true) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_) return;
-      pop_task(&task);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_ || !running_ || !pop_task(&task)) {
+        --drainers_;
+        if (drainers_ == 0) idle_cv_.notify_all();
+        return;
+      }
       ++active_;
     }
     if (config_.on_task) config_.on_task(task.block, task.priority);
@@ -282,22 +300,17 @@ void RepairManager::worker_loop() {
 void RepairManager::start() {
   std::lock_guard<std::mutex> lock(mu_);
   stop_ = false;
-  for (int w = 0; w < config_.workers; ++w) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
+  running_ = true;
+  pump_locked();
 }
 
 void RepairManager::stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-    cv_.notify_all();
-    idle_cv_.notify_all();
-  }
-  for (auto& t : workers_) {
-    if (t.joinable()) t.join();
-  }
-  workers_.clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_ = true;  // stays set until the next start(); wait_idle() unblocks
+  running_ = false;
+  cv_.notify_all();  // wake retry-backoff waits
+  idle_cv_.notify_all();
+  idle_cv_.wait(lock, [this] { return drainers_ == 0; });
 }
 
 void RepairManager::wait_idle() {

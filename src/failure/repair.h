@@ -18,7 +18,10 @@
 // starve foreground work.
 //
 // Two execution modes:
-//  * start()/stop() — live worker threads (testbed chaos runs);
+//  * start()/stop() — live mode: up to `workers` drainer tasks on the shared
+//    data-path pool (datapath::WorkerPool) service the queue until it is
+//    empty, and scheduling new work re-pumps drainers as needed.  No
+//    persistent threads: an idle manager costs nothing.
 //  * drain()        — processes the whole queue synchronously on the caller
 //    thread in strict priority order, deterministically (benches, sim).
 #pragma once
@@ -30,7 +33,6 @@
 #include <map>
 #include <mutex>
 #include <set>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -77,10 +79,12 @@ class RepairManager {
   int schedule_rack(RackId rack);
 
   // ---- execution ----------------------------------------------------------
-  // Live mode: `workers` threads service the queue until stop().
+  // Live mode: at most `workers` concurrent drainer tasks on the shared
+  // data-path pool service the queue until stop().
   void start();
+  // Stops live mode and blocks until every drainer has exited.
   void stop();
-  // Blocks until the queue is empty and all workers are idle.
+  // Blocks until the queue is empty and all drainers are idle.
   void wait_idle();
 
   // Synchronous mode: processes the entire queue (including retries) on the
@@ -112,7 +116,10 @@ class RepairManager {
   // One repair attempt; re-verifies state, then decodes or re-replicates.
   Outcome attempt(const Task& task, bool live_mode);
   void finish(const Task& task, Outcome outcome, bool live_mode);
-  void worker_loop();
+  // Submits drainer tasks to the shared pool until min(config.workers,
+  // queue depth) are running.  Caller holds mu_; no-op unless running_.
+  void pump_locked();
+  void drainer_loop();
   void throttle(Bytes bytes, bool live_mode);
 
   cfs::MiniCfs* cfs_;
@@ -124,8 +131,9 @@ class RepairManager {
   std::set<std::pair<int, BlockId>> queue_;  // (priority, block)
   std::set<BlockId> queued_;                 // dedupe
   std::map<BlockId, int> attempts_;          // retry counts for queued blocks
-  std::vector<std::thread> workers_;
-  int active_ = 0;
+  int drainers_ = 0;      // drainer tasks alive on the shared pool
+  int active_ = 0;        // drainers currently executing a repair
+  bool running_ = false;  // between start() and stop()
   bool stop_ = false;
   Report report_;
 

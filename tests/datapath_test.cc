@@ -1,0 +1,407 @@
+// Data-path layer tests: zero-copy BlockBuffer semantics, the shared
+// worker pool, the staged chunked pipeline, and end-to-end equivalence of
+// the chunked encode/degraded-read paths with the one-shot paths (parity
+// must be byte-identical — GF(2^8) row ops are bytewise, so chunking can
+// never change the result).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cfs/checkpoint.h"
+#include "cfs/minicfs.h"
+#include "cfs/raidnode.h"
+#include "common/rng.h"
+#include "datapath/block_buffer.h"
+#include "datapath/pipeline.h"
+#include "datapath/worker_pool.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace ear {
+namespace {
+
+using datapath::BlockBuffer;
+using datapath::ChunkPlan;
+using datapath::MutableBlockBuffer;
+using datapath::StagedPipeline;
+using datapath::TaskGroup;
+using datapath::WorkerPool;
+
+// ------------------------------------------------------------- BlockBuffer
+
+TEST(BlockBuffer, CopyOfOwnsIndependentBytes) {
+  std::vector<uint8_t> src{1, 2, 3, 4};
+  const BlockBuffer buf = BlockBuffer::copy_of(src);
+  src[0] = 99;
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.span()[0], 1);
+  EXPECT_EQ(buf.window(1, 2)[0], 2);
+}
+
+TEST(BlockBuffer, TakeAdoptsWithoutCopy) {
+  std::vector<uint8_t> src{5, 6, 7};
+  const uint8_t* raw = src.data();
+  const BlockBuffer buf = BlockBuffer::take(std::move(src));
+  EXPECT_EQ(buf.data(), raw);  // same allocation, no byte copy
+  EXPECT_EQ(buf.refs(), 1);
+  const BlockBuffer shared = buf;
+  EXPECT_EQ(shared.data(), raw);
+  EXPECT_EQ(buf.refs(), 2);
+}
+
+TEST(BlockBuffer, SealFreezesWithoutCopy) {
+  MutableBlockBuffer staging(8);
+  staging.span()[3] = 42;
+  const uint8_t* raw = staging.data();
+  const BlockBuffer sealed = std::move(staging).seal();
+  EXPECT_EQ(sealed.data(), raw);
+  EXPECT_EQ(sealed.size(), 8u);
+  EXPECT_EQ(sealed.span()[3], 42);
+  EXPECT_EQ(staging.size(), 0u);  // handle dead after seal
+}
+
+TEST(BlockBuffer, EqualityAgainstVectorAndBuffer) {
+  const std::vector<uint8_t> v{9, 8, 7};
+  const BlockBuffer a = BlockBuffer::copy_of(v);
+  const BlockBuffer b = BlockBuffer::take(std::vector<uint8_t>(v));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, v);
+  EXPECT_EQ(v, a);  // reversed candidate (C++20)
+  EXPECT_FALSE(a == BlockBuffer::copy_of(std::vector<uint8_t>{9, 8}));
+}
+
+TEST(BlockBuffer, CopyOfChargesBytesCopiedCounter) {
+  obs::Config cfg;
+  cfg.metrics = true;
+  obs::init(cfg);
+  obs::Registry::instance().reset_values();
+  auto& ctr = obs::Registry::instance().counter("datapath.bytes_copied");
+
+  const std::vector<uint8_t> v(1000, 1);
+  const BlockBuffer copied = BlockBuffer::copy_of(v);
+  EXPECT_EQ(ctr.value(), 1000);
+  const BlockBuffer adopted = BlockBuffer::take(std::vector<uint8_t>(v));
+  const BlockBuffer shared = adopted;  // ref share: free
+  EXPECT_EQ(ctr.value(), 1000);
+  (void)copied;
+  (void)shared;
+  const std::vector<uint8_t> out = adopted.to_vector();
+  EXPECT_EQ(ctr.value(), 2000);
+  EXPECT_EQ(out, v);
+  obs::shutdown();
+}
+
+// -------------------------------------------------------------- WorkerPool
+
+TEST(WorkerPool, RunsSubmittedTasks) {
+  WorkerPool pool(4);
+  std::atomic<int> ran{0};
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 100; ++i) {
+      group.submit([&ran] { ran.fetch_add(1); });
+    }
+    group.wait();
+  }
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_EQ(pool.tasks_executed(), 100);
+  EXPECT_LE(pool.thread_count(), 4);
+}
+
+TEST(WorkerPool, TaskGroupBoundsConcurrency) {
+  WorkerPool pool(8);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  TaskGroup group(pool, /*max_concurrency=*/2);
+  for (int i = 0; i < 12; ++i) {
+    group.submit([&] {
+      const int now = running.fetch_add(1) + 1;
+      int prev = peak.load();
+      while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      running.fetch_sub(1);
+    });
+  }
+  group.wait();
+  EXPECT_LE(peak.load(), 2);
+  EXPECT_GE(peak.load(), 1);
+}
+
+TEST(WorkerPool, SharedInstanceIsSingleton) {
+  WorkerPool& a = WorkerPool::shared();
+  WorkerPool& b = WorkerPool::shared();
+  EXPECT_EQ(&a, &b);
+}
+
+// ---------------------------------------------------------------- ChunkPlan
+
+TEST(ChunkPlan, SlicesBlockIntoWindows) {
+  const ChunkPlan plan{100, 30};
+  EXPECT_EQ(plan.count(), 4);
+  EXPECT_EQ(plan.offset(0), 0u);
+  EXPECT_EQ(plan.len(0), 30u);
+  EXPECT_EQ(plan.offset(3), 90u);
+  EXPECT_EQ(plan.len(3), 10u);  // tail window
+}
+
+TEST(ChunkPlan, ZeroChunkMeansOneShot) {
+  EXPECT_EQ((ChunkPlan{100, 0}).count(), 1);
+  EXPECT_EQ((ChunkPlan{100, 0}).len(0), 100u);
+  EXPECT_EQ((ChunkPlan{100, 200}).count(), 1);
+  EXPECT_EQ((ChunkPlan{100, 100}).count(), 1);
+}
+
+// ----------------------------------------------------------- StagedPipeline
+
+TEST(StagedPipeline, StagesObserveChunkOrder) {
+  const int chunks = 16;
+  std::vector<int> fetched, computed, uploaded;
+  std::mutex mu;
+  StagedPipeline::run(
+      chunks,
+      [&](int c) {
+        std::lock_guard<std::mutex> lock(mu);
+        fetched.push_back(c);
+      },
+      [&](int c) {
+        std::lock_guard<std::mutex> lock(mu);
+        // compute(c) must run after fetch(c) finished.
+        EXPECT_GE(static_cast<int>(fetched.size()), c + 1);
+        computed.push_back(c);
+      },
+      [&](int c) {
+        std::lock_guard<std::mutex> lock(mu);
+        EXPECT_GE(static_cast<int>(computed.size()), c + 1);
+        uploaded.push_back(c);
+      });
+  ASSERT_EQ(fetched.size(), static_cast<size_t>(chunks));
+  ASSERT_EQ(computed.size(), static_cast<size_t>(chunks));
+  ASSERT_EQ(uploaded.size(), static_cast<size_t>(chunks));
+  for (int c = 0; c < chunks; ++c) {
+    EXPECT_EQ(fetched[static_cast<size_t>(c)], c);
+    EXPECT_EQ(computed[static_cast<size_t>(c)], c);
+    EXPECT_EQ(uploaded[static_cast<size_t>(c)], c);
+  }
+}
+
+TEST(StagedPipeline, FetchExceptionPropagates) {
+  EXPECT_THROW(StagedPipeline::run(
+                   4,
+                   [&](int c) {
+                     if (c == 2) throw std::runtime_error("link died");
+                   },
+                   [&](int) {}),
+               std::runtime_error);
+}
+
+// ------------------------------------------- end-to-end chunked equivalence
+
+cfs::CfsConfig equivalence_config() {
+  cfs::CfsConfig cfg;
+  cfg.racks = 10;
+  cfg.nodes_per_rack = 4;
+  cfg.placement.code = CodeParams{8, 6};
+  cfg.placement.replication = 3;
+  cfg.placement.c = 1;
+  cfg.use_ear = true;
+  cfg.block_size = 64_KB;
+  cfg.seed = 11;
+  return cfg;
+}
+
+// Builds a cluster, writes until one stripe seals, encodes it.
+// `preferred_chunk` = 0 drives the one-shot path; a divisor-unaligned chunk
+// drives the staged chunked path with a short tail window.
+std::unique_ptr<cfs::MiniCfs> encoded_cluster(
+    const cfs::CfsConfig& cfg, Bytes preferred_chunk,
+    std::map<BlockId, std::vector<uint8_t>>* originals = nullptr,
+    StripeId* encoded_stripe = nullptr) {
+  const Topology topo(cfg.racks, cfg.nodes_per_rack);
+  auto cfs = std::make_unique<cfs::MiniCfs>(
+      cfg, std::make_unique<cfs::InstantTransport>(topo, preferred_chunk));
+  Rng rng(7);
+  while (cfs->sealed_stripes().empty()) {
+    std::vector<uint8_t> data(static_cast<size_t>(cfg.block_size));
+    for (auto& b : data) b = static_cast<uint8_t>(rng.uniform(256));
+    const BlockId id = cfs->write_block(data);
+    if (originals) (*originals)[id] = std::move(data);
+  }
+  const StripeId stripe = cfs->sealed_stripes()[0];
+  cfs->encode_stripe(stripe);
+  if (encoded_stripe) *encoded_stripe = stripe;
+  return cfs;
+}
+
+TEST(ChunkedDataPath, ParityByteIdenticalToOneShot) {
+  const auto cfg = equivalence_config();
+  // 24 KB does not divide the 64 KB block: exercises the tail window.
+  StripeId stripe_a = kInvalidStripe;
+  StripeId stripe_b = kInvalidStripe;
+  auto one_shot = encoded_cluster(cfg, 0, nullptr, &stripe_a);
+  auto chunked = encoded_cluster(cfg, 24_KB, nullptr, &stripe_b);
+
+  ASSERT_EQ(stripe_a, stripe_b);  // same seed, same write sequence
+  const cfs::StripeMeta a = one_shot->stripe_meta(stripe_a);
+  const cfs::StripeMeta b = chunked->stripe_meta(stripe_b);
+  ASSERT_EQ(a.parity_blocks.size(), b.parity_blocks.size());
+  for (size_t j = 0; j < a.parity_blocks.size(); ++j) {
+    EXPECT_EQ(one_shot->read_block(a.parity_blocks[j], 0),
+              chunked->read_block(b.parity_blocks[j], 0))
+        << "parity " << j << " differs between one-shot and chunked encode";
+  }
+}
+
+TEST(ChunkedDataPath, DegradedReadByteIdenticalToOneShot) {
+  const auto cfg = equivalence_config();
+  std::map<BlockId, std::vector<uint8_t>> originals;
+  StripeId stripe = kInvalidStripe;
+  auto chunked = encoded_cluster(cfg, 24_KB, &originals, &stripe);
+
+  const cfs::StripeMeta meta = chunked->stripe_meta(stripe);
+  const BlockId victim = meta.data_blocks[0];
+  const NodeId holder = chunked->block_locations(victim)[0];
+  chunked->kill_node(holder);
+  const NodeId reader =
+      (holder + 1) % chunked->topology().node_count();
+  // Chunked reconstruction must reproduce the original bytes exactly.
+  EXPECT_EQ(chunked->read_block(victim, reader), originals.at(victim));
+}
+
+TEST(ChunkedDataPath, RaidNodeJobMatchesAcrossChunking) {
+  // Same seed, same writes; encode via RaidNode on the shared pool with and
+  // without chunking — every data block must stay byte-identical.
+  const auto cfg = equivalence_config();
+  std::map<BlockId, std::vector<uint8_t>> originals;
+  StripeId stripe = kInvalidStripe;
+  auto one_shot = encoded_cluster(cfg, 0, &originals, &stripe);
+  std::map<BlockId, std::vector<uint8_t>> originals_chunked;
+  auto chunked = encoded_cluster(cfg, 16_KB, &originals_chunked);
+
+  const cfs::StripeMeta a = one_shot->stripe_meta(stripe);
+  for (const BlockId blk : a.data_blocks) {
+    EXPECT_EQ(one_shot->read_block(blk, 0), originals.at(blk));
+    EXPECT_EQ(chunked->read_block(blk, 0), originals_chunked.at(blk));
+  }
+}
+
+// -------------------------------------------------- zero-copy write path
+
+TEST(ZeroCopyWritePath, OneCopyPerBlockNotPerReplica) {
+  obs::Config ocfg;
+  ocfg.metrics = true;
+  obs::init(ocfg);
+  obs::Registry::instance().reset_values();
+  auto& ctr = obs::Registry::instance().counter("datapath.bytes_copied");
+
+  const auto cfg = equivalence_config();
+  const Topology topo(cfg.racks, cfg.nodes_per_rack);
+  auto cfs = std::make_unique<cfs::MiniCfs>(
+      cfg, std::make_unique<cfs::InstantTransport>(topo));
+  std::vector<uint8_t> data(static_cast<size_t>(cfg.block_size), 0xab);
+  const BlockId id = cfs->write_block(data);
+  // r = 3 replicas share ONE physical copy of the caller's buffer.
+  EXPECT_EQ(ctr.value(), cfg.block_size);
+  // A replica read shares the stored buffer: still no new copy.
+  EXPECT_EQ(cfs->read_block(id, 0), data);
+  EXPECT_EQ(ctr.value(), cfg.block_size);
+  obs::shutdown();
+}
+
+// ------------------------------------------------- checkpoint round-trip
+
+TEST(ZeroCopyWritePath, CheckpointRoundTripsThroughBlockBuffers) {
+  const auto cfg = equivalence_config();
+  std::map<BlockId, std::vector<uint8_t>> originals;
+  StripeId stripe = kInvalidStripe;
+  auto cfs = encoded_cluster(cfg, 16_KB, &originals, &stripe);
+
+  const std::vector<uint8_t> image = cfs::save_checkpoint(*cfs);
+  const Topology topo(cfg.racks, cfg.nodes_per_rack);
+  auto restored = cfs::load_checkpoint(
+      image, std::make_unique<cfs::InstantTransport>(topo, 16_KB));
+
+  const cfs::StripeMeta meta = cfs->stripe_meta(stripe);
+  for (const BlockId blk : meta.data_blocks) {
+    EXPECT_EQ(restored->read_block(blk, 0), cfs->read_block(blk, 0));
+  }
+  for (const BlockId blk : meta.parity_blocks) {
+    EXPECT_EQ(restored->read_block(blk, 0), cfs->read_block(blk, 0));
+  }
+  // Degraded read in the restored cluster still reconstructs exactly.
+  const BlockId victim = meta.data_blocks[1];
+  const NodeId holder = restored->block_locations(victim)[0];
+  restored->kill_node(holder);
+  EXPECT_EQ(restored->read_block(
+                victim, (holder + 1) % restored->topology().node_count()),
+            originals.at(victim));
+}
+
+// ---------------------------------------------------- set_transport contract
+
+// Transport whose transfers block until released; lets the test hold a
+// write in flight deterministically.
+class GateTransport final : public cfs::Transport {
+ public:
+  void transfer(NodeId, NodeId, Bytes) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++entered_;
+      cv_.notify_all();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+  int64_t cross_rack_bytes() const override { return 0; }
+  int64_t intra_rack_bytes() const override { return 0; }
+
+  void wait_entered() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return entered_ > 0; });
+  }
+  void open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int entered_ = 0;
+  bool open_ = false;
+};
+
+TEST(SetTransport, ThrowsWhileDataMovementInFlight) {
+  const auto cfg = equivalence_config();
+  const Topology topo(cfg.racks, cfg.nodes_per_rack);
+  auto gate = std::make_unique<GateTransport>();
+  GateTransport* gate_ptr = gate.get();
+  cfs::MiniCfs cluster(cfg, std::move(gate));
+
+  std::thread writer([&] {
+    std::vector<uint8_t> data(static_cast<size_t>(cfg.block_size), 1);
+    cluster.write_block(data);
+  });
+  gate_ptr->wait_entered();  // the write is now blocked inside the transport
+  EXPECT_THROW(
+      cluster.set_transport(std::make_unique<cfs::InstantTransport>(topo)),
+      std::logic_error);
+  gate_ptr->open();
+  writer.join();
+  // Quiesced: the swap now succeeds, and the cluster keeps working.
+  cluster.set_transport(std::make_unique<cfs::InstantTransport>(topo));
+  std::vector<uint8_t> data(static_cast<size_t>(cfg.block_size), 2);
+  const BlockId id = cluster.write_block(data);
+  EXPECT_EQ(cluster.read_block(id, 0), data);
+}
+
+}  // namespace
+}  // namespace ear

@@ -87,7 +87,7 @@ TEST(ObsIntegration, TestbedEncodeEmitsExpectedSpans) {
 
   for (const char* name :
        {"raid.encode_job", "raid.map_task", "cfs.encode_stripe",
-        "cfs.encode.download", "cfs.encode.compute", "cfs.encode.upload",
+        "datapath.fetch", "datapath.compute", "datapath.upload",
         "cfs.write_block"}) {
     EXPECT_TRUE(obs::trace_has_event(name)) << name;
   }
