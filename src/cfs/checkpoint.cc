@@ -9,7 +9,7 @@ namespace ear::cfs {
 
 namespace {
 
-constexpr char kMagic[8] = {'E', 'A', 'R', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagic[8] = {'E', 'A', 'R', 'C', 'K', 'P', 'T', '2'};
 
 // ---- little-endian primitives ------------------------------------------
 
@@ -96,6 +96,7 @@ std::vector<uint8_t> save_checkpoint(const MiniCfs& cfs) {
           image.config.construction == erasure::Construction::kCauchy ? 1
                                                                       : 0);
   put_u64(out, image.config.seed);
+  put_i64(out, image.config.namespace_shards);
   put_i64(out, image.next_block_id);
 
   // Block locations.
@@ -157,6 +158,7 @@ std::unique_ptr<MiniCfs> load_checkpoint(
                                   ? erasure::Construction::kCauchy
                                   : erasure::Construction::kVandermonde;
   image.config.seed = in.u64();
+  image.config.namespace_shards = static_cast<int>(in.i64());
   image.next_block_id = in.i64();
 
   const uint64_t location_count = in.u64();

@@ -63,12 +63,10 @@ StripeId MiniCfs::write_encoded_stripe(
           random_node_in_rack(topo_, static_cast<RackId>(r), rng_));
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(namenode_mu_);
-    stripe = next_inline_stripe_id_--;
-    for (int i = 0; i < n; ++i) {
-      block_ids[static_cast<size_t>(i)] = next_block_id_++;
-    }
+  stripe = next_inline_stripe_id_.fetch_sub(1, std::memory_order_relaxed);
+  const BlockId id_base = next_block_id_.fetch_add(n, std::memory_order_relaxed);
+  for (int i = 0; i < n; ++i) {
+    block_ids[static_cast<size_t>(i)] = id_base + i;
   }
 
   // Stream all n blocks from the writer concurrently (the client pushes
@@ -98,22 +96,7 @@ StripeId MiniCfs::write_encoded_stripe(
           std::move(parity[static_cast<size_t>(j)]).seal());
   }
 
-  {
-    std::lock_guard<std::mutex> lock(namenode_mu_);
-    StripeMeta& meta = stripe_meta_[stripe];
-    meta.id = stripe;
-    meta.encoded = true;
-    for (int i = 0; i < n; ++i) {
-      const BlockId id = block_ids[static_cast<size_t>(i)];
-      locations_[id] = {nodes[static_cast<size_t>(i)]};
-      block_stripe_pos_[id] = {stripe, i};
-      if (i < k) {
-        meta.data_blocks.push_back(id);
-      } else {
-        meta.parity_blocks.push_back(id);
-      }
-    }
-  }
+  ns_.commit_inline_stripe(stripe, block_ids, nodes, k);
   return stripe;
 }
 

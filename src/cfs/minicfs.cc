@@ -22,6 +22,7 @@ MiniCfs::MiniCfs(const CfsConfig& config, std::unique_ptr<Transport> transport)
                                             config.seed)),
       code_(config.placement.code.n, config.placement.code.k,
             config.construction),
+      ns_(config.namespace_shards),
       node_alive_(static_cast<size_t>(topo_.node_count())),
       rng_(config.seed ^ 0xdeadbeefULL),
       ctr_blocks_written_(
@@ -94,8 +95,11 @@ BlockId MiniCfs::write_block(std::span<const uint8_t> data,
   BlockPlacement placement;
   int position = 0;
   {
-    std::lock_guard<std::mutex> lock(namenode_mu_);
-    const BlockId id = next_block_id_++;
+    // The id draw stays inside policy_mu_ so the id order matches the
+    // stripe-assembly order for a given client schedule (the determinism
+    // contract: ids are dense and placement is a pure function of them).
+    std::lock_guard<std::mutex> lock(policy_mu_);
+    const BlockId id = next_block_id_.fetch_add(1, std::memory_order_relaxed);
     placement = policy_->place_block(id, writer);
     position =
         static_cast<int>(policy_->stripe(placement.stripe).blocks.size()) - 1;
@@ -118,15 +122,9 @@ BlockId MiniCfs::write_block(std::span<const uint8_t> data,
   for (const NodeId n : replicas) {
     store(n, placement.block, bytes);
   }
-  {
-    std::lock_guard<std::mutex> lock(namenode_mu_);
-    locations_[placement.block] =
-        std::vector<NodeId>(replicas.begin(), replicas.end());
-    block_stripe_pos_[placement.block] = {placement.stripe, position};
-    auto& meta = stripe_meta_[placement.stripe];
-    meta.id = placement.stripe;
-    meta.data_blocks.push_back(placement.block);
-  }
+  ns_.commit_new_block(placement.block,
+                       std::vector<NodeId>(replicas.begin(), replicas.end()),
+                       placement.stripe, position);
   ctr_blocks_written_->add();
   return placement.block;
 }
@@ -159,16 +157,11 @@ NodeId MiniCfs::pick_source(const std::vector<NodeId>& locations, NodeId dst,
 
 datapath::BlockBuffer MiniCfs::read_block(BlockId block, NodeId reader) {
   TransferScope in_flight(*this);
-  std::vector<NodeId> locations;
-  {
-    std::lock_guard<std::mutex> lock(namenode_mu_);
-    const auto it = locations_.find(block);
-    if (it == locations_.end()) {
-      throw std::runtime_error("unknown block " + std::to_string(block));
-    }
-    locations = it->second;
+  const auto locations = ns_.find_locations(block);
+  if (!locations) {
+    throw std::runtime_error("unknown block " + std::to_string(block));
   }
-  const NodeId src = pick_source(locations, reader, /*count=*/false);
+  const NodeId src = pick_source(*locations, reader, /*count=*/false);
   if (src != kInvalidNode) {
     transport_->transfer(src, reader, config_.block_size);
     return fetch(src, block);
@@ -178,26 +171,19 @@ datapath::BlockBuffer MiniCfs::read_block(BlockId block, NodeId reader) {
   obs::Span span("cfs.degraded_read", "cfs");
   span.arg("block", block);
   ctr_degraded_reads_->add();
-  StripeId stripe;
-  int wanted_pos;
-  std::vector<BlockId> stripe_blocks;  // data then parity, stripe order
-  {
-    std::lock_guard<std::mutex> lock(namenode_mu_);
-    const auto pos_it = block_stripe_pos_.find(block);
-    if (pos_it == block_stripe_pos_.end()) {
-      throw std::runtime_error("block lost and not in any stripe");
-    }
-    stripe = pos_it->second.first;
-    wanted_pos = pos_it->second.second;
-    const auto meta_it = stripe_meta_.find(stripe);
-    if (meta_it == stripe_meta_.end() || !meta_it->second.encoded) {
-      throw std::runtime_error("block lost before its stripe was encoded");
-    }
-    stripe_blocks = meta_it->second.data_blocks;
-    stripe_blocks.insert(stripe_blocks.end(),
-                         meta_it->second.parity_blocks.begin(),
-                         meta_it->second.parity_blocks.end());
+  const auto stripe_pos = ns_.find_block_stripe(block);
+  if (!stripe_pos) {
+    throw std::runtime_error("block lost and not in any stripe");
   }
+  const StripeId stripe = stripe_pos->first;
+  const int wanted_pos = stripe_pos->second;
+  const auto meta = ns_.find_stripe(stripe);
+  if (!meta || !meta->encoded) {
+    throw std::runtime_error("block lost before its stripe was encoded");
+  }
+  std::vector<BlockId> stripe_blocks = meta->data_blocks;  // stripe order
+  stripe_blocks.insert(stripe_blocks.end(), meta->parity_blocks.begin(),
+                       meta->parity_blocks.end());
 
   // Resolve k live sources and take zero-copy references to their stored
   // bytes up front; the staged pipeline below overlaps the chunked
@@ -210,14 +196,9 @@ datapath::BlockBuffer MiniCfs::read_block(BlockId block, NodeId reader) {
        static_cast<int>(available_ids.size()) < code_.k();
        ++pos) {
     const BlockId b = stripe_blocks[static_cast<size_t>(pos)];
-    std::vector<NodeId> locs;
-    {
-      std::lock_guard<std::mutex> lock(namenode_mu_);
-      const auto it = locations_.find(b);
-      if (it == locations_.end()) continue;
-      locs = it->second;
-    }
-    const NodeId s = pick_source(locs, reader, /*count=*/false);
+    const auto locs = ns_.find_locations(b);
+    if (!locs) continue;
+    const NodeId s = pick_source(*locs, reader, /*count=*/false);
     if (s == kInvalidNode) continue;
     available_ids.push_back(pos);
     sources.push_back(s);
@@ -259,7 +240,7 @@ datapath::BlockBuffer MiniCfs::read_block(BlockId block, NodeId reader) {
 // -------------------------------------------------------------- encoding
 
 std::vector<StripeId> MiniCfs::sealed_stripes() const {
-  std::lock_guard<std::mutex> lock(namenode_mu_);
+  std::lock_guard<std::mutex> lock(policy_mu_);
   return policy_->sealed_stripes();
 }
 
@@ -269,17 +250,17 @@ void MiniCfs::encode_stripe(StripeId stripe,
   stripe_span.arg("stripe", stripe);
   const int64_t encode_begin_us = obs::now_us();
   TransferScope in_flight(*this);
+  if (ns_.stripe_encoded(stripe)) {
+    throw std::runtime_error("stripe already encoded");
+  }
   EncodePlan plan;
   std::vector<BlockId> data_blocks;
   std::vector<std::vector<NodeId>> replica_sets;
   {
-    std::lock_guard<std::mutex> lock(namenode_mu_);
+    std::lock_guard<std::mutex> lock(policy_mu_);
     const StripeInfo& info = policy_->stripe(stripe);
     if (!info.sealed(config_.placement.code.k)) {
       throw std::runtime_error("stripe not sealed");
-    }
-    if (stripe_meta_[stripe].encoded) {
-      throw std::runtime_error("stripe already encoded");
     }
     plan = policy_->plan_encoding(stripe);
     data_blocks = info.blocks;
@@ -356,11 +337,10 @@ void MiniCfs::encode_stripe(StripeId stripe,
       });
 
   std::vector<BlockId> parity_ids(static_cast<size_t>(m));
-  {
-    std::lock_guard<std::mutex> lock(namenode_mu_);
-    for (int j = 0; j < m; ++j) {
-      parity_ids[static_cast<size_t>(j)] = next_block_id_++;
-    }
+  const BlockId parity_base =
+      next_block_id_.fetch_add(m, std::memory_order_relaxed);
+  for (int j = 0; j < m; ++j) {
+    parity_ids[static_cast<size_t>(j)] = parity_base + j;
   }
   for (int j = 0; j < m; ++j) {
     store(plan.parity[static_cast<size_t>(j)],
@@ -372,40 +352,23 @@ void MiniCfs::encode_stripe(StripeId stripe,
   for (const auto& [block_idx, node] : plan.deletions) {
     erase(node, data_blocks[static_cast<size_t>(block_idx)]);
   }
-  {
-    std::lock_guard<std::mutex> lock(namenode_mu_);
-    for (int i = 0; i < k; ++i) {
-      locations_[data_blocks[static_cast<size_t>(i)]] = {
-          plan.kept[static_cast<size_t>(i)]};
-    }
-    StripeMeta& meta = stripe_meta_[stripe];
-    meta.id = stripe;
-    meta.parity_blocks = parity_ids;
-    meta.encoded = true;
-    for (int j = 0; j < m; ++j) {
-      locations_[parity_ids[static_cast<size_t>(j)]] = {
-          plan.parity[static_cast<size_t>(j)]};
-      block_stripe_pos_[parity_ids[static_cast<size_t>(j)]] = {stripe, k + j};
-    }
-  }
+  ns_.commit_encoded_stripe(stripe, data_blocks, plan.kept, parity_ids,
+                            plan.parity);
   ctr_stripes_encoded_->add();
   hist_encode_s_->record(
       static_cast<double>(obs::now_us() - encode_begin_us) / 1e6);
 }
 
 bool MiniCfs::is_encoded(StripeId stripe) const {
-  std::lock_guard<std::mutex> lock(namenode_mu_);
-  const auto it = stripe_meta_.find(stripe);
-  return it != stripe_meta_.end() && it->second.encoded;
+  return ns_.stripe_encoded(stripe);
 }
 
 StripeMeta MiniCfs::stripe_meta(StripeId stripe) const {
-  std::lock_guard<std::mutex> lock(namenode_mu_);
-  const auto it = stripe_meta_.find(stripe);
-  if (it == stripe_meta_.end()) {
+  auto meta = ns_.find_stripe(stripe);
+  if (!meta) {
     throw std::runtime_error("unknown stripe");
   }
-  return it->second;
+  return *std::move(meta);
 }
 
 // ------------------------------------------------------- failure / repair
@@ -441,25 +404,24 @@ void MiniCfs::repair_block(BlockId block, NodeId target) {
   ctr_repairs_->add();
   datapath::BlockBuffer bytes = read_block(block, target);
   store(target, block, std::move(bytes));
-  std::lock_guard<std::mutex> lock(namenode_mu_);
-  auto& locs = locations_[block];
   // Drop dead locations, add the repaired copy.
-  locs.erase(std::remove_if(locs.begin(), locs.end(),
-                            [this](NodeId n) {
-                              return !node_alive_[static_cast<size_t>(n)];
-                            }),
-             locs.end());
-  if (std::find(locs.begin(), locs.end(), target) == locs.end()) {
-    locs.push_back(target);
-  }
+  ns_.update_locations(block, [this, target](std::vector<NodeId>& locs) {
+    locs.erase(std::remove_if(locs.begin(), locs.end(),
+                              [this](NodeId n) {
+                                return !node_alive_[static_cast<size_t>(n)];
+                              }),
+               locs.end());
+    if (std::find(locs.begin(), locs.end(), target) == locs.end()) {
+      locs.push_back(target);
+    }
+  });
 }
 
 // ----------------------------------------------------------- introspection
 
 std::vector<NodeId> MiniCfs::block_locations(BlockId block) const {
-  std::lock_guard<std::mutex> lock(namenode_mu_);
-  const auto it = locations_.find(block);
-  return it == locations_.end() ? std::vector<NodeId>{} : it->second;
+  auto locs = ns_.find_locations(block);
+  return locs ? *std::move(locs) : std::vector<NodeId>{};
 }
 
 int64_t MiniCfs::blocks_stored_on(NodeId node) const {

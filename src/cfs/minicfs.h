@@ -17,6 +17,7 @@
 // bottleneck in real time.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -26,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "cfs/namespace.h"
 #include "cfs/transport.h"
 #include "common/rng.h"
 #include "datapath/block_buffer.h"
@@ -44,31 +46,12 @@ struct CfsConfig {
   Bytes block_size = 1_MB;
   erasure::Construction construction = erasure::Construction::kCauchy;
   uint64_t seed = 1;
+  // NameNode lock striping (cfs/namespace.h).  1 reproduces the old
+  // single-mutex NameNode (the bench_ext_namenode baseline).
+  int namespace_shards = NamespaceShards::kDefaultShards;
 };
 
-// Per-stripe metadata kept by the NameNode after encoding.
-struct StripeMeta {
-  StripeId id = kInvalidStripe;
-  std::vector<BlockId> data_blocks;    // size k
-  std::vector<BlockId> parity_blocks;  // size n - k (empty until encoded)
-  bool encoded = false;
-};
-
-// Point-in-time view of one block's metadata (see namespace_snapshot()).
-struct BlockStatus {
-  std::vector<NodeId> locations;   // where copies are registered (may be dead)
-  StripeId stripe = kInvalidStripe;
-  int position = -1;               // index in stripe, 0..n-1; -1 if unstriped
-  bool encoded = false;            // the stripe finished encoding
-};
-
-// One-lock snapshot of the NameNode metadata.  Recovery sweeps and the
-// failure/repair subsystem iterate over this instead of taking the NameNode
-// mutex once per block.
-struct NamespaceSnapshot {
-  std::map<BlockId, BlockStatus> blocks;
-  std::map<StripeId, StripeMeta> stripes;
-};
+// StripeMeta, BlockStatus and NamespaceSnapshot live in cfs/namespace.h.
 
 // Full cluster snapshot (see cfs/checkpoint.h).  Plain data so it can be
 // serialized without touching MiniCfs internals.
@@ -249,16 +232,19 @@ class MiniCfs {
   std::unique_ptr<PlacementPolicy> policy_;
   erasure::RSCode code_;
 
-  mutable std::mutex namenode_mu_;
+  // The NameNode namespace: lock-striped block locations, stripe metadata,
+  // and block->stripe positions (cfs/namespace.h).  The placement policy
+  // keeps its own stripe-assembly state and is guarded separately by
+  // policy_mu_; nothing acquires a namespace shard while holding policy_mu_
+  // or vice versa.
+  NamespaceShards ns_;
+  mutable std::mutex policy_mu_;
   std::vector<std::unique_ptr<DataNode>> datanodes_;
-  std::map<BlockId, std::vector<NodeId>> locations_;
-  std::map<StripeId, StripeMeta> stripe_meta_;
-  std::map<BlockId, std::pair<StripeId, int>> block_stripe_pos_;  // id -> (stripe, index in stripe 0..n-1)
   std::vector<std::atomic<bool>> node_alive_;
-  BlockId next_block_id_ = 0;
+  std::atomic<BlockId> next_block_id_{0};
   // Inline (write-path) stripes count downward so they never collide with
   // the placement policy's stripe ids.
-  StripeId next_inline_stripe_id_ = -1;
+  std::atomic<StripeId> next_inline_stripe_id_{-1};
   mutable std::mutex rng_mu_;
   mutable Rng rng_;
   std::atomic<int64_t> encode_cross_rack_downloads_{0};

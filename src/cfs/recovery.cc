@@ -7,42 +7,16 @@
 
 namespace ear::cfs {
 
-std::vector<BlockId> MiniCfs::all_blocks() const {
-  std::lock_guard<std::mutex> lock(namenode_mu_);
-  std::vector<BlockId> out;
-  out.reserve(locations_.size());
-  for (const auto& [block, locs] : locations_) {
-    (void)locs;
-    out.push_back(block);
-  }
-  return out;
-}
+std::vector<BlockId> MiniCfs::all_blocks() const { return ns_.all_blocks(); }
 
 bool MiniCfs::is_block_encoded(BlockId block) const {
-  std::lock_guard<std::mutex> lock(namenode_mu_);
-  const auto pos = block_stripe_pos_.find(block);
-  if (pos == block_stripe_pos_.end()) return false;
-  const auto meta = stripe_meta_.find(pos->second.first);
-  return meta != stripe_meta_.end() && meta->second.encoded;
+  const auto pos = ns_.find_block_stripe(block);
+  if (!pos) return false;
+  return ns_.stripe_encoded(pos->first);
 }
 
 NamespaceSnapshot MiniCfs::namespace_snapshot() const {
-  NamespaceSnapshot snap;
-  std::lock_guard<std::mutex> lock(namenode_mu_);
-  snap.stripes = stripe_meta_;
-  for (const auto& [block, locs] : locations_) {
-    BlockStatus status;
-    status.locations = locs;
-    const auto pos = block_stripe_pos_.find(block);
-    if (pos != block_stripe_pos_.end()) {
-      status.stripe = pos->second.first;
-      status.position = pos->second.second;
-      const auto meta = stripe_meta_.find(status.stripe);
-      status.encoded = meta != stripe_meta_.end() && meta->second.encoded;
-    }
-    snap.blocks.emplace(block, std::move(status));
-  }
-  return snap;
+  return ns_.snapshot();
 }
 
 NodeId MiniCfs::pick_repair_target(const std::vector<NodeId>& exclude,
@@ -63,18 +37,18 @@ NodeId MiniCfs::pick_repair_target(const std::vector<NodeId>& exclude,
 
 std::set<RackId> MiniCfs::live_stripe_racks(BlockId block) const {
   std::set<RackId> racks;
-  std::lock_guard<std::mutex> lock(namenode_mu_);
-  const auto pos = block_stripe_pos_.find(block);
-  if (pos == block_stripe_pos_.end()) return racks;
-  const auto meta = stripe_meta_.find(pos->second.first);
-  if (meta == stripe_meta_.end()) return racks;
-  std::vector<BlockId> siblings = meta->second.data_blocks;
-  siblings.insert(siblings.end(), meta->second.parity_blocks.begin(),
-                  meta->second.parity_blocks.end());
+  const auto pos = ns_.find_block_stripe(block);
+  if (!pos) return racks;
+  const auto meta = ns_.find_stripe(pos->first);
+  if (!meta) return racks;
+  std::vector<BlockId> siblings = meta->data_blocks;
+  siblings.insert(siblings.end(), meta->parity_blocks.begin(),
+                  meta->parity_blocks.end());
   for (const BlockId sibling : siblings) {
-    const auto it = locations_.find(sibling);
-    if (it == locations_.end()) continue;
-    for (const NodeId n : it->second) {
+    if (sibling == kInvalidBlock) continue;  // stripe still assembling
+    const auto locs = ns_.find_locations(sibling);
+    if (!locs) continue;
+    for (const NodeId n : *locs) {
       if (node_alive_[static_cast<size_t>(n)]) {
         racks.insert(topo_.rack_of(n));
       }
@@ -97,17 +71,18 @@ void MiniCfs::replicate_block(BlockId block, NodeId dst) {
   const NodeId src = pick_source(live, dst, /*count=*/false);
   transport_->transfer(src, dst, config_.block_size);
   store(dst, block, fetch(src, block));
-  std::lock_guard<std::mutex> lock(namenode_mu_);
-  auto& registered = locations_[block];
-  registered.erase(std::remove_if(registered.begin(), registered.end(),
-                                  [this](NodeId n) {
-                                    return !node_alive_[static_cast<size_t>(n)];
-                                  }),
-                   registered.end());
-  if (std::find(registered.begin(), registered.end(), dst) ==
-      registered.end()) {
-    registered.push_back(dst);
-  }
+  ns_.update_locations(block, [this, dst](std::vector<NodeId>& registered) {
+    registered.erase(
+        std::remove_if(registered.begin(), registered.end(),
+                       [this](NodeId n) {
+                         return !node_alive_[static_cast<size_t>(n)];
+                       }),
+        registered.end());
+    if (std::find(registered.begin(), registered.end(), dst) ==
+        registered.end()) {
+      registered.push_back(dst);
+    }
+  });
 }
 
 MiniCfs::RecoveryReport MiniCfs::restore_redundancy() {
@@ -125,8 +100,7 @@ MiniCfs::RecoveryReport MiniCfs::restore_redundancy() {
     if (static_cast<int>(live.size()) >= target) {
       // Still prune dead locations so later reads don't retry them.
       if (live.size() != status.locations.size()) {
-        std::lock_guard<std::mutex> lock(namenode_mu_);
-        locations_[block] = live;
+        ns_.set_locations(block, live);
       }
       continue;
     }
@@ -177,8 +151,7 @@ MiniCfs::RecoveryReport MiniCfs::restore_redundancy() {
       live.push_back(dst);
       ++report.re_replicated;
     }
-    std::lock_guard<std::mutex> lock(namenode_mu_);
-    locations_[block] = live;
+    ns_.set_locations(block, live);
   }
   return report;
 }
@@ -187,13 +160,8 @@ MiniCfs::RecoveryReport MiniCfs::restore_redundancy() {
 ClusterImage MiniCfs::export_image() const {
   ClusterImage image;
   image.config = config_;
-  {
-    std::lock_guard<std::mutex> lock(namenode_mu_);
-    image.next_block_id = next_block_id_;
-    image.locations = locations_;
-    image.stripes = stripe_meta_;
-    image.block_positions = block_stripe_pos_;
-  }
+  image.next_block_id = next_block_id_.load(std::memory_order_relaxed);
+  ns_.export_maps(&image.locations, &image.stripes, &image.block_positions);
   image.node_blocks.resize(datanodes_.size());
   for (size_t i = 0; i < datanodes_.size(); ++i) {
     std::lock_guard<std::mutex> lock(datanodes_[i]->mu);
@@ -210,23 +178,24 @@ std::unique_ptr<MiniCfs> MiniCfs::from_image(
     throw std::runtime_error("checkpoint topology mismatch");
   }
   {
-    std::lock_guard<std::mutex> lock(cfs->namenode_mu_);
-    cfs->next_block_id_ = image.next_block_id;
-    cfs->locations_ = std::move(image.locations);
-    cfs->stripe_meta_ = std::move(image.stripes);
-    cfs->block_stripe_pos_ = std::move(image.block_positions);
+    cfs->next_block_id_.store(image.next_block_id,
+                              std::memory_order_relaxed);
     // New stripes must not collide with snapshotted ones (the fresh
     // placement policy restarts its id counter at 0); inline stripes count
     // downward and need the same treatment.
     StripeId max_policy_stripe = -1;
     StripeId min_inline_stripe = 0;
-    for (const auto& [id, meta] : cfs->stripe_meta_) {
+    for (const auto& [id, meta] : image.stripes) {
       (void)meta;
       max_policy_stripe = std::max(max_policy_stripe, id);
       min_inline_stripe = std::min(min_inline_stripe, id);
     }
+    cfs->ns_.import_maps(std::move(image.locations), std::move(image.stripes),
+                         std::move(image.block_positions));
+    std::lock_guard<std::mutex> lock(cfs->policy_mu_);
     cfs->policy_->reserve_stripe_ids(max_policy_stripe + 1);
-    cfs->next_inline_stripe_id_ = min_inline_stripe - 1;
+    cfs->next_inline_stripe_id_.store(min_inline_stripe - 1,
+                                      std::memory_order_relaxed);
   }
   for (size_t i = 0; i < image.node_blocks.size(); ++i) {
     std::lock_guard<std::mutex> lock(cfs->datanodes_[i]->mu);

@@ -2,8 +2,13 @@
 // suites do not exercise.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include "cfs/minicfs.h"
 #include "erasure/rs.h"
@@ -194,6 +199,148 @@ TEST(EdgeCases, EncodeUnsealedStripeThrows) {
   std::vector<uint8_t> block(1024, 1);
   cfs.write_block(block);  // one block: stripe 0 exists but is unsealed
   EXPECT_THROW(cfs.encode_stripe(0), std::runtime_error);
+}
+
+// ------------------------------------------------ cfs concurrency boundaries
+
+// Delegating transport that sleeps per transfer, widening the encode window
+// so a racing revive/kill lands mid-flight.
+class SlowTransport final : public cfs::Transport {
+ public:
+  explicit SlowTransport(const Topology& topo) : inner_(topo) {}
+  void transfer(NodeId src, NodeId dst, Bytes size) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    inner_.transfer(src, dst, size);
+  }
+  int64_t cross_rack_bytes() const override {
+    return inner_.cross_rack_bytes();
+  }
+  int64_t intra_rack_bytes() const override {
+    return inner_.intra_rack_bytes();
+  }
+
+ private:
+  cfs::InstantTransport inner_;
+};
+
+TEST(EdgeCases, ReviveNodeRacingEncode) {
+  cfs::CfsConfig cfg;
+  cfg.racks = 6;
+  cfg.nodes_per_rack = 2;
+  cfg.placement.code = CodeParams{6, 4};
+  cfg.placement.replication = 2;
+  cfg.block_size = 1_KB;
+  cfg.seed = 17;
+  const Topology topo(cfg.racks, cfg.nodes_per_rack);
+  cfs::MiniCfs cfs(cfg, std::make_unique<SlowTransport>(topo));
+
+  std::vector<uint8_t> block(static_cast<size_t>(cfg.block_size), 1);
+  std::vector<BlockId> blocks;
+  while (cfs.sealed_stripes().empty()) {
+    for (auto& b : block) ++b;
+    blocks.push_back(cfs.write_block(block, 0));
+  }
+  const StripeId stripe = cfs.sealed_stripes().front();
+
+  // A node holding a replica of the stripe goes down, the encode starts
+  // anyway, and the node reports back mid-encode (a transient failure).
+  const NodeId victim = cfs.block_locations(blocks.front()).front();
+  cfs.kill_node(victim);
+  std::atomic<bool> encode_ok{true};
+  std::thread enc([&] {
+    try {
+      cfs.encode_stripe(stripe);
+    } catch (const std::runtime_error&) {
+      // the dead replica was load-bearing for this plan; stays retryable
+      encode_ok.store(false);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  cfs.revive_node(victim);
+  enc.join();
+
+  // Whichever way the race lands, the namespace must be consistent and the
+  // stripe must still be encodable.
+  if (!encode_ok.load()) {
+    EXPECT_FALSE(cfs.is_encoded(stripe));
+    cfs.encode_stripe(stripe);
+  }
+  EXPECT_TRUE(cfs.is_encoded(stripe));
+  cfs.restore_redundancy();
+  const cfs::StripeMeta meta = cfs.stripe_meta(stripe);
+  ASSERT_EQ(meta.data_blocks.size(), 4u);
+  ASSERT_EQ(meta.parity_blocks.size(), 2u);
+  for (const BlockId b : blocks) {
+    EXPECT_NO_THROW(cfs.read_block(b, victim));
+  }
+}
+
+// Delegating transport whose transfers block on a gate, pinning an operation
+// in flight for as long as the test needs.
+class GateTransport final : public cfs::Transport {
+ public:
+  explicit GateTransport(const Topology& topo) : inner_(topo) {}
+
+  void transfer(NodeId src, NodeId dst, Bytes size) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++entered_;
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return open_; });
+    }
+    inner_.transfer(src, dst, size);
+  }
+  int64_t cross_rack_bytes() const override {
+    return inner_.cross_rack_bytes();
+  }
+  int64_t intra_rack_bytes() const override {
+    return inner_.intra_rack_bytes();
+  }
+
+  void wait_entered() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return entered_ > 0; });
+  }
+  void open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  cfs::InstantTransport inner_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int entered_ = 0;
+  bool open_ = false;
+};
+
+TEST(EdgeCases, SetTransportRejectsInFlightWrite) {
+  cfs::CfsConfig cfg;
+  cfg.racks = 4;
+  cfg.nodes_per_rack = 2;
+  cfg.placement.code = CodeParams{4, 3};
+  cfg.placement.replication = 2;
+  cfg.block_size = 1_KB;
+  const Topology topo(cfg.racks, cfg.nodes_per_rack);
+  auto gate_owner = std::make_unique<GateTransport>(topo);
+  GateTransport* gate = gate_owner.get();
+  cfs::MiniCfs cfs(cfg, std::move(gate_owner));
+
+  const std::vector<uint8_t> block(static_cast<size_t>(cfg.block_size), 9);
+  std::thread writer([&] { cfs.write_block(block, 0); });
+  gate->wait_entered();
+
+  // The write is parked inside the transport: swapping it now would pull the
+  // rug out from under the pipeline, so the guard must refuse.
+  EXPECT_THROW(cfs.set_transport(std::make_unique<cfs::InstantTransport>(topo)),
+               std::logic_error);
+
+  gate->open();
+  writer.join();
+  // Quiesced: the swap goes through.
+  cfs.set_transport(std::make_unique<cfs::InstantTransport>(topo));
+  cfs.write_block(block, 0);
 }
 
 // ------------------------------------------------------------ sim boundaries
