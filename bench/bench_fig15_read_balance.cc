@@ -4,16 +4,31 @@
 //
 // Paper expectation: H decreases with file size toward 1/R = 5% and the two
 // policies are nearly identical at every size.
+//
+//   ./bench_fig15_read_balance --csv-out fig15.csv
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "analysis/balance.h"
 #include "bench/bench_util.h"
+#include "common/csv.h"
 #include "common/flags.h"
 
 int main(int argc, char** argv) {
   using namespace ear;
   const FlagParser flags(argc, argv);
   const int runs = static_cast<int>(flags.get_int("runs", 30));
+  const std::string csv_path = flags.get_string("csv-out");
+
+  CsvWriter csv(csv_path.empty() ? "/dev/null" : csv_path);
+  if (!csv_path.empty() && !csv.ok()) {
+    std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
+    return 1;
+  }
+  if (!csv_path.empty()) {
+    csv.row("file_blocks,runs,rr_hotness_pct,ear_hotness_pct\n");
+  }
 
   bench::header("Figure 15", "read hotness index H vs file size, RR vs EAR");
   bench::row("%12s | %10s | %10s", "file blocks", "RR H %", "EAR H %");
@@ -27,7 +42,14 @@ int main(int argc, char** argv) {
     const double rr = analysis::read_hotness_index(rr_cfg, blocks, r);
     const double ear_h = analysis::read_hotness_index(ear_cfg, blocks, r);
     bench::row("%12d | %10.2f | %10.2f", blocks, rr, ear_h);
+    if (!csv_path.empty()) {
+      csv.row("%d,%d,%.4f,%.4f\n", blocks, r, rr, ear_h);
+    }
   }
   bench::note("paper: RR and EAR have almost identical H at every file size");
+  if (!csv_path.empty() && !csv.close()) {
+    std::perror("csv close");
+    return 1;
+  }
   return 0;
 }

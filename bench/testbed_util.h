@@ -26,6 +26,10 @@ struct TestbedParams {
   int replication = 2;
   int stripes = 24;
   Bytes block_size = 1_MB;
+  // Reader-side block cache budget (0 = disabled, the pre-cache read path)
+  // and degraded-read fetch lanes (0 = one per source, 1 = round-robin).
+  Bytes cache_bytes = 0;
+  int read_fanout_lanes = 0;
   cfs::ThrottleConfig throttle{};
   uint64_t seed = 1;
 
@@ -48,6 +52,9 @@ struct TestbedParams {
         flags.get_double("rack-bw", p.throttle.node_bw);
     p.throttle.disk_bw = flags.get_double("disk-bw", 13e6);
     p.throttle.chunk_size = std::max<Bytes>(64_KB, p.block_size / 16);
+    p.cache_bytes = static_cast<Bytes>(flags.get_int("cache-bytes", 0));
+    p.read_fanout_lanes =
+        static_cast<int>(flags.get_int("fanout-lanes", 0));
     p.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
     return p;
   }
@@ -71,6 +78,8 @@ inline LoadedTestbed make_loaded_testbed(const TestbedParams& params,
   cfg.placement.c = 1;
   cfg.use_ear = use_ear;
   cfg.block_size = params.block_size;
+  cfg.cache_bytes = params.cache_bytes;
+  cfg.read_fanout_lanes = params.read_fanout_lanes;
   cfg.seed = params.seed;
 
   const Topology topo(cfg.racks, cfg.nodes_per_rack);

@@ -9,7 +9,9 @@ namespace ear::cfs {
 
 namespace {
 
-constexpr char kMagic[8] = {'E', 'A', 'R', 'C', 'K', 'P', 'T', '2'};
+// '3' added the read-path fields (cache_bytes, read_fanout_lanes); older
+// images are rejected rather than silently defaulted.
+constexpr char kMagic[8] = {'E', 'A', 'R', 'C', 'K', 'P', 'T', '3'};
 
 // ---- little-endian primitives ------------------------------------------
 
@@ -97,6 +99,8 @@ std::vector<uint8_t> save_checkpoint(const MiniCfs& cfs) {
                                                                       : 0);
   put_u64(out, image.config.seed);
   put_i64(out, image.config.namespace_shards);
+  put_i64(out, image.config.cache_bytes);
+  put_i64(out, image.config.read_fanout_lanes);
   put_i64(out, image.next_block_id);
 
   // Block locations.
@@ -159,6 +163,8 @@ std::unique_ptr<MiniCfs> load_checkpoint(
                                   : erasure::Construction::kVandermonde;
   image.config.seed = in.u64();
   image.config.namespace_shards = static_cast<int>(in.i64());
+  image.config.cache_bytes = in.i64();
+  image.config.read_fanout_lanes = static_cast<int>(in.i64());
   image.next_block_id = in.i64();
 
   const uint64_t location_count = in.u64();

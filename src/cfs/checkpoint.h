@@ -3,8 +3,9 @@
 // restore a loaded cluster.
 //
 // Format: a self-describing little-endian binary stream,
-//   magic "EARCKPT1"
-//   cluster config (topology, code, replication, block size)
+//   magic "EARCKPT3"
+//   cluster config (topology, code, replication, block size, read-path
+//   cache bytes and fan-out lanes)
 //   block locations (block id -> node list)
 //   stripe map (data/parity block lists, encoded flag, stripe positions)
 //   per-node block stores (block id -> bytes)

@@ -20,6 +20,9 @@ MiniCfs::MiniCfs(const CfsConfig& config, std::unique_ptr<Transport> transport)
                                                     config.seed)
                   : make_random_replication(topo_, config.placement,
                                             config.seed)),
+      cache_(config.cache_bytes > 0
+                 ? std::make_unique<datapath::BlockCache>(config.cache_bytes)
+                 : nullptr),
       code_(config.placement.code.n, config.placement.code.k,
             config.construction),
       ns_(config.namespace_shards),
@@ -76,9 +79,34 @@ datapath::BlockBuffer MiniCfs::fetch(NodeId node, BlockId block) const {
 }
 
 void MiniCfs::erase(NodeId node, BlockId block) {
-  DataNode& dn = *datanodes_[static_cast<size_t>(node)];
-  std::lock_guard<std::mutex> lock(dn.mu);
-  dn.blocks.erase(block);
+  {
+    DataNode& dn = *datanodes_[static_cast<size_t>(node)];
+    std::lock_guard<std::mutex> lock(dn.mu);
+    dn.blocks.erase(block);
+  }
+  // Replica deleted (encode step (iii) or a future GC): readers must not
+  // keep serving it once the last copy is gone, so drop cached copies now.
+  cache_invalidate(block);
+}
+
+// -------------------------------------------------------------- block cache
+
+void MiniCfs::cache_fill(NodeId reader, BlockId block,
+                         const datapath::BlockBuffer& bytes) {
+  if (!cache_) return;
+  // Fills are data movement under the set_transport contract: the read
+  // that produced `bytes` must still hold its TransferScope, so a
+  // transport swap can never interleave with a fill (see minicfs.h).
+  if (transfers_in_flight_.load(std::memory_order_relaxed) == 0) {
+    throw std::logic_error(
+        "cache fill outside a TransferScope; fills must be fenced by the "
+        "set_transport in-flight guard (see minicfs.h)");
+  }
+  cache_->insert(reader, block, bytes);
+}
+
+void MiniCfs::cache_invalidate(BlockId block) {
+  if (cache_) cache_->invalidate_block(block);
 }
 
 // ------------------------------------------------------------ write path
@@ -157,6 +185,13 @@ NodeId MiniCfs::pick_source(const std::vector<NodeId>& locations, NodeId dst,
 
 datapath::BlockBuffer MiniCfs::read_block(BlockId block, NodeId reader) {
   TransferScope in_flight(*this);
+  // Reader-side cache first: a hit is served from the reader's own memory —
+  // zero copies, zero transport bytes, no source involved at all.
+  if (cache_) {
+    if (auto cached = cache_->lookup(reader, block)) {
+      return *std::move(cached);
+    }
+  }
   const auto locations = ns_.find_locations(block);
   if (!locations) {
     throw std::runtime_error("unknown block " + std::to_string(block));
@@ -164,10 +199,17 @@ datapath::BlockBuffer MiniCfs::read_block(BlockId block, NodeId reader) {
   const NodeId src = pick_source(*locations, reader, /*count=*/false);
   if (src != kInvalidNode) {
     transport_->transfer(src, reader, config_.block_size);
-    return fetch(src, block);
+    datapath::BlockBuffer bytes = fetch(src, block);
+    cache_fill(reader, block, bytes);
+    return bytes;
   }
+  datapath::BlockBuffer rebuilt = degraded_read(block, reader);
+  cache_fill(reader, block, rebuilt);
+  return rebuilt;
+}
 
-  // Degraded read: reconstruct from any k live blocks of the stripe.
+datapath::BlockBuffer MiniCfs::degraded_read(BlockId block, NodeId reader) {
+  // Reconstruct from any k live blocks of the stripe.
   obs::Span span("cfs.degraded_read", "cfs");
   span.arg("block", block);
   ctr_degraded_reads_->add();
@@ -220,14 +262,25 @@ datapath::BlockBuffer MiniCfs::read_block(BlockId block, NodeId reader) {
   datapath::MutableBlockBuffer out(static_cast<size_t>(config_.block_size));
   std::vector<erasure::MutBlockView> out_views{out.span()};
 
+  // Fan-out: one fetch lane per source node (or read_fanout_lanes of them,
+  // each covering sources lane, lane+lanes, ... in round-robin order), so a
+  // congested cross-rack source no longer head-of-line-blocks the intra-rack
+  // ones.  lanes == 1 serializes all sources on one lane — exactly the
+  // pre-fan-out round-robin loop.
+  const int nsources = static_cast<int>(sources.size());
+  const int lanes = config_.read_fanout_lanes <= 0
+                        ? nsources
+                        : std::min(config_.read_fanout_lanes, nsources);
   const datapath::ChunkPlan chunks{config_.block_size,
                                    transport_->preferred_chunk()};
-  datapath::StagedPipeline::run(
-      chunks.count(),
+  datapath::StagedPipeline::run_fanout(
+      chunks.count(), lanes,
       /*fetch=*/
-      [&](int c) {
+      [&](int lane, int c) {
         const Bytes len = static_cast<Bytes>(chunks.len(c));
-        for (const NodeId s : sources) transport_->transfer(s, reader, len);
+        for (int s = lane; s < nsources; s += lanes) {
+          transport_->transfer(sources[static_cast<size_t>(s)], reader, len);
+        }
       },
       /*compute=*/
       [&](int c) {
@@ -383,6 +436,19 @@ void MiniCfs::kill_rack(RackId rack) {
 
 void MiniCfs::revive_node(NodeId node) {
   node_alive_[static_cast<size_t>(node)] = true;
+  // A revived store changes which locations are servable; cached entries
+  // for its blocks predate that and must be re-validated on next read.
+  // (The constructor's revive_all() runs before datanodes_ exists — guard.)
+  if (cache_ && static_cast<size_t>(node) < datanodes_.size()) {
+    std::vector<BlockId> held;
+    {
+      DataNode& dn = *datanodes_[static_cast<size_t>(node)];
+      std::lock_guard<std::mutex> lock(dn.mu);
+      held.reserve(dn.blocks.size());
+      for (const auto& [b, bytes] : dn.blocks) held.push_back(b);
+    }
+    for (const BlockId b : held) cache_->invalidate_block(b);
+  }
 }
 
 void MiniCfs::revive_rack(RackId rack) {
@@ -404,6 +470,10 @@ void MiniCfs::repair_block(BlockId block, NodeId target) {
   ctr_repairs_->add();
   datapath::BlockBuffer bytes = read_block(block, target);
   store(target, block, std::move(bytes));
+  // Repair-rewrite: the block's servable locations change, so cached
+  // copies (including the one the read above just filled) are dropped and
+  // re-validated on next read.
+  cache_invalidate(block);
   // Drop dead locations, add the repaired copy.
   ns_.update_locations(block, [this, target](std::vector<NodeId>& locs) {
     locs.erase(std::remove_if(locs.begin(), locs.end(),

@@ -31,6 +31,7 @@
 #include "cfs/transport.h"
 #include "common/rng.h"
 #include "datapath/block_buffer.h"
+#include "datapath/block_cache.h"
 #include "erasure/rs.h"
 #include "obs/metrics.h"
 #include "placement/policy.h"
@@ -49,6 +50,16 @@ struct CfsConfig {
   // NameNode lock striping (cfs/namespace.h).  1 reproduces the old
   // single-mutex NameNode (the bench_ext_namenode baseline).
   int namespace_shards = NamespaceShards::kDefaultShards;
+  // Reader-side block cache budget in bytes (datapath/block_cache.h).  A
+  // cache hit returns the reader's cached BlockBuffer with zero transport
+  // bytes and zero copies.  0 (default) disables the cache and reproduces
+  // the pre-cache read path exactly.
+  Bytes cache_bytes = 0;
+  // Degraded-read fetch fan-out: number of concurrent per-source fetch
+  // lanes (datapath::StagedPipeline::run_fanout).  0 (default) = one lane
+  // per source; 1 = the old single-lane round-robin fetch loop, byte- and
+  // order-identical to the pre-fan-out path.
+  int read_fanout_lanes = 0;
 };
 
 // StripeMeta, BlockStatus and NamespaceSnapshot live in cfs/namespace.h.
@@ -90,6 +101,14 @@ class MiniCfs {
   // full duration, and set_transport throws std::logic_error if any is
   // still in flight.  Quiesce workers (join RaidNode jobs, stop the
   // RepairManager) before swapping.
+  //
+  // The in-flight guard fences block-cache fills too: a fill only ever
+  // happens inside the read that produced the bytes, which holds its
+  // TransferScope for the fill's full duration (cache_fill asserts this),
+  // so a swap can never interleave with a fill.  Cached entries themselves
+  // survive the swap — BlockBuffer contents are immutable and a hit
+  // touches no transport — which is exactly the pre-loaded-data semantics
+  // benches use set_transport for.
   void set_transport(std::unique_ptr<Transport> transport);
 
   // ---- client write path -------------------------------------------------
@@ -110,11 +129,15 @@ class MiniCfs {
       std::optional<NodeId> writer = std::nullopt);
 
   // ---- client read path --------------------------------------------------
-  // Reads a block to `reader`.  Serves from a live replica when one exists
-  // (returning a zero-copy reference to the replica's stored buffer);
-  // otherwise performs a degraded read, reconstructing from any k live
-  // blocks of the encoded stripe through the staged chunked pipeline.
-  // Throws std::runtime_error when the block is unrecoverable.
+  // Reads a block to `reader`.  Consults the reader-side block cache first
+  // (when CfsConfig::cache_bytes > 0): a hit returns the reader's cached
+  // buffer with zero transport transfer and zero copies.  Otherwise serves
+  // from a live replica when one exists (returning a zero-copy reference
+  // to the replica's stored buffer); otherwise performs a degraded read,
+  // reconstructing from any k live blocks of the encoded stripe through
+  // the staged chunked pipeline — with one fetch lane per source node when
+  // fan-out is enabled (CfsConfig::read_fanout_lanes).  Throws
+  // std::runtime_error when the block is unrecoverable.
   datapath::BlockBuffer read_block(BlockId block, NodeId reader);
 
   // ---- encoding (the RaidNode path uses these) ----------------------------
@@ -182,6 +205,8 @@ class MiniCfs {
 
   // ---- introspection -------------------------------------------------------
   std::vector<NodeId> block_locations(BlockId block) const;
+  // Reader-side cache instance; null when CfsConfig::cache_bytes == 0.
+  const datapath::BlockCache* block_cache() const { return cache_.get(); }
   std::vector<BlockId> all_blocks() const;
   bool is_block_encoded(BlockId block) const;
   NamespaceSnapshot namespace_snapshot() const;
@@ -224,12 +249,29 @@ class MiniCfs {
   NodeId pick_source(const std::vector<NodeId>& locations, NodeId dst,
                      bool count_cross_rack_download);
 
+  // Caches `bytes` as `reader`'s copy of `block`.  Must run inside the
+  // read's TransferScope (throws std::logic_error otherwise): cache fills
+  // are data movement for the purposes of the set_transport contract.
+  void cache_fill(NodeId reader, BlockId block,
+                  const datapath::BlockBuffer& bytes);
+  // Coherence hook: drops every reader's cached copy of `block` (called on
+  // replica delete, encode commit, repair/replicate rewrite, node revive).
+  void cache_invalidate(BlockId block);
+
+  // Reconstructs `block` from k live stripe blocks through the staged
+  // chunked pipeline (fan-out lanes when configured).  The slow path of
+  // read_block.
+  datapath::BlockBuffer degraded_read(BlockId block, NodeId reader);
+
   CfsConfig config_;
   Topology topo_;
   std::mutex transport_mu_;  // serializes set_transport swaps
   mutable std::atomic<int> transfers_in_flight_{0};
   std::unique_ptr<Transport> transport_;
   std::unique_ptr<PlacementPolicy> policy_;
+  // Reader-side block cache; null when config.cache_bytes == 0 (the
+  // pre-cache read path, exactly).
+  std::unique_ptr<datapath::BlockCache> cache_;
   erasure::RSCode code_;
 
   // The NameNode namespace: lock-striped block locations, stripe metadata,

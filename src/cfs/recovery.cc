@@ -71,6 +71,9 @@ void MiniCfs::replicate_block(BlockId block, NodeId dst) {
   const NodeId src = pick_source(live, dst, /*count=*/false);
   transport_->transfer(src, dst, config_.block_size);
   store(dst, block, fetch(src, block));
+  // Recovery rewrite: servable locations change, so cached copies are
+  // dropped and re-validated on next read (same rule as repair_block).
+  cache_invalidate(block);
   ns_.update_locations(block, [this, dst](std::vector<NodeId>& registered) {
     registered.erase(
         std::remove_if(registered.begin(), registered.end(),

@@ -23,8 +23,11 @@ ThrottledTransport::ThrottledTransport(const Topology& topo,
       bw = config.disk_bw > 0 ? config.disk_bw : 1e18;  // 0 = free
     } else if (i < 2 * topo.node_count()) {
       bw = config.node_bw;
-    } else {
+    } else if (i < 2 * topo.node_count() + topo.rack_count()) {
       bw = config.rack_uplink_bw;
+    } else {
+      bw = config.rack_downlink_bw > 0 ? config.rack_downlink_bw
+                                       : config.rack_uplink_bw;
     }
     link->seconds_per_byte = 1.0 / bw;
     links_.push_back(std::move(link));

@@ -92,6 +92,11 @@ class InstantTransport final : public Transport {
 struct ThrottleConfig {
   BytesPerSec node_bw = 200e6;         // emulated link speeds; scaled-down
   BytesPerSec rack_uplink_bw = 200e6;  // testbeds use ~100-400 MB/s
+  // Rack down-link (core -> rack) speed; 0 = same as the up-link.  Letting
+  // them differ models congestion concentrated in one direction — e.g. the
+  // paper's Iperf interference rides the rack up-links, so senders are
+  // squeezed while receiver ingress stays clear.
+  BytesPerSec rack_downlink_bw = 0;
   Bytes chunk_size = 1_MB;             // reservation granularity
   // Local disk bandwidth per node; 0 = local reads are free.  The paper's
   // testbed disks (~130 MB/s SATA) are comparable to its 1 Gb/s links.

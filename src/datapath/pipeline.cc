@@ -1,8 +1,10 @@
 #include "datapath/pipeline.h"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <thread>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -103,6 +105,116 @@ void StagedPipeline::run(int chunks, const std::function<void(int)>& fetch,
   fetcher.join();
   if (uploader.joinable()) uploader.join();
   if (fetch_error) std::rethrow_exception(fetch_error);
+}
+
+namespace {
+
+// Counting semaphore bounding how many fan-out lanes move bytes at once
+// across the whole process.  A lane holds a slot only while it fetches —
+// never while waiting on another lane — so the gate cannot deadlock: every
+// slot holder finishes unconditionally and frees its slot.
+class LaneGate {
+ public:
+  explicit LaneGate(int slots) : slots_(slots) {}
+
+  void acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return slots_ > 0; });
+    --slots_;
+  }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++slots_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int slots_;
+};
+
+}  // namespace
+
+void StagedPipeline::run_fanout(int chunks, int lanes,
+                                const std::function<void(int, int)>& fetch,
+                                const std::function<void(int)>& compute) {
+  if (lanes <= 1) {
+    // Single lane: identical to the round-robin baseline.  Note chunks <= 1
+    // must NOT collapse to this path when lanes > 1 — each lane covers a
+    // disjoint share of the sources, so every lane must still run.
+    run(
+        chunks, [&fetch](int c) { fetch(0, c); }, compute);
+    return;
+  }
+
+  static LaneGate gate(kMaxActiveLanes);
+  static obs::Gauge* gauge_in_flight =
+      &obs::Registry::instance().gauge("datapath.chunks_in_flight");
+  static obs::Gauge* gauge_lanes =
+      &obs::Registry::instance().gauge("datapath.fetch_lanes");
+  gauge_lanes->set_max(static_cast<double>(lanes));
+
+  std::vector<ChunkLadder> ladders(static_cast<size_t>(lanes));
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(lanes));
+  std::atomic<bool> aborting{false};
+
+  std::vector<std::thread> lane_threads;
+  lane_threads.reserve(static_cast<size_t>(lanes));
+  for (int l = 0; l < lanes; ++l) {
+    lane_threads.emplace_back([&, l] {
+      gate.acquire();
+      obs::Span span("datapath.fetch_lane", "datapath");
+      span.arg("lane", l);
+      span.arg("chunks", chunks);
+      try {
+        for (int c = 0; c < chunks; ++c) {
+          if (aborting.load(std::memory_order_relaxed)) break;
+          fetch(l, c);
+          ladders[static_cast<size_t>(l)].publish(c + 1);
+        }
+      } catch (...) {
+        errors[static_cast<size_t>(l)] = std::current_exception();
+        aborting.store(true, std::memory_order_relaxed);
+      }
+      // Release any waiter stuck beyond this lane's published rungs (a
+      // no-op for waits the lane already satisfied).
+      if (aborting.load(std::memory_order_relaxed)) {
+        ladders[static_cast<size_t>(l)].abort();
+      }
+      gate.release();
+    });
+  }
+
+  {
+    obs::Span span("datapath.compute", "datapath");
+    span.arg("chunks", chunks);
+    span.arg("lanes", lanes);
+    for (int c = 0; c < chunks; ++c) {
+      bool rung_complete = true;
+      int min_ready = chunks;
+      for (auto& ladder : ladders) {
+        if (!ladder.wait_for(c + 1)) {
+          rung_complete = false;
+          break;
+        }
+        min_ready = std::min(min_ready, ladder.ready());
+      }
+      if (!rung_complete) break;
+      // Rungs every lane has fully delivered but compute has not consumed:
+      // > 1 proves the lanes ran ahead while we decoded.
+      gauge_in_flight->set_max(static_cast<double>(min_ready - c));
+      compute(c);
+    }
+  }
+
+  for (auto& t : lane_threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
 }
 
 }  // namespace ear::datapath

@@ -88,6 +88,36 @@ class StagedPipeline {
   static void run(int chunks, const std::function<void(int)>& fetch,
                   const std::function<void(int)>& compute,
                   const std::function<void(int)>& upload = nullptr);
+
+  // Fan-out variant for degraded reads: `lanes` fetch lanes run
+  // concurrently, each on its own dedicated stage thread, and
+  // fetch(lane, c) is called once per (lane, chunk).  Each lane streams its
+  // chunks independently — a lane stuck behind a congested cross-rack link
+  // no longer head-of-line-blocks the intra-rack lanes — and compute(c)
+  // starts as soon as every lane has delivered chunk c (the k chunks of
+  // ladder rung c have landed).
+  //
+  // Lane threads are dedicated, never pool slots (see the pool's
+  // wait-on-queued-task rule), but their *concurrency* is bounded: at most
+  // kMaxActiveLanes lanes across the whole process move bytes at once —
+  // matching the shared WorkerPool's thread cap — and surplus lanes wait
+  // their turn.  The gate cannot deadlock: a lane holds a slot only while
+  // fetching, never while waiting on another lane.
+  //
+  // lanes <= 1 degenerates to run(fetch(0, ·), compute): the exact
+  // pre-fan-out behaviour, used as the round-robin baseline.  chunks <= 1
+  // with lanes > 1 still runs every lane (each covers a disjoint share of
+  // the work); only the ladder depth is trivial.
+  //
+  // Like run(), only `fetch` may throw; the first lane error aborts every
+  // stage and is rethrown after the lanes drain.
+  static void run_fanout(int chunks, int lanes,
+                         const std::function<void(int, int)>& fetch,
+                         const std::function<void(int)>& compute);
+
+  // Process-wide cap on lanes concurrently moving bytes (== the shared
+  // WorkerPool thread cap).
+  static constexpr int kMaxActiveLanes = 64;
 };
 
 }  // namespace ear::datapath

@@ -1,0 +1,74 @@
+// Map-only read job over the MiniCfs testbed (the consumer side of the
+// paper's workloads: analytics tasks scanning blocks that were replicated,
+// then encoded).
+//
+// Mirrors RaidNode's structure: one map task per input block runs on the
+// shared data-path pool (datapath::WorkerPool), at most `map_slots`
+// concurrently, each reading its block through MiniCfs::read_block — so
+// tasks hit the reader-side BlockCache, take degraded reads when their
+// block is lost, and contend on the emulated transport exactly like the
+// encode/repair jobs they share the cluster with.
+//
+// Each block gets a FIXED reader node, assigned on first sight and reused
+// on every later pass: repeated scans of the same input (the hot-read
+// pattern the cache targets) land on the same reader's cache instead of
+// re-rolling placement per pass.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cfs/minicfs.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace ear::mapred {
+
+// Where a block's map task runs.
+enum class ReadLocality {
+  // On a node holding a live replica (free local read when not encoded) —
+  // Hadoop's data-local scheduling.
+  kDataLocal,
+  // On a uniformly random node (fixed per block): every read crosses the
+  // network, the slot-starved case data-local scheduling cannot always
+  // avoid, and the pattern the reader-side cache pays off on.
+  kRandomRemote,
+};
+
+struct ReadJobConfig {
+  int map_slots = 4;
+  ReadLocality locality = ReadLocality::kRandomRemote;
+  uint64_t seed = 1;
+};
+
+struct ReadJobReport {
+  int64_t blocks_read = 0;
+  int64_t bytes_read = 0;
+  int64_t failed = 0;  // reads that threw (block unrecoverable mid-failure)
+  double duration_s = 0;
+  double throughput_mbps = 0;  // bytes_read per wall second
+  int64_t data_local_reads = 0;  // reader held a live replica at dispatch
+  int64_t remote_reads = 0;
+  std::vector<double> latencies_s;  // per-read wall times, sorted ascending
+};
+
+class TestbedReadJob {
+ public:
+  TestbedReadJob(cfs::MiniCfs& cfs, const ReadJobConfig& config);
+
+  // Reads every block once; blocks until the job finishes.  Reader
+  // assignments persist across run() calls (see file comment).
+  ReadJobReport run(const std::vector<BlockId>& blocks);
+
+  // The reader a block's map task is pinned to (assigning it if new).
+  NodeId reader_for(BlockId block);
+
+ private:
+  cfs::MiniCfs* cfs_;
+  ReadJobConfig config_;
+  Rng rng_;
+  std::unordered_map<BlockId, NodeId> assigned_;
+};
+
+}  // namespace ear::mapred
