@@ -9,9 +9,14 @@ namespace ear::cfs {
 
 namespace {
 
-// '3' added the read-path fields (cache_bytes, read_fanout_lanes); older
-// images are rejected rather than silently defaulted.
-constexpr char kMagic[8] = {'E', 'A', 'R', 'C', 'K', 'P', 'T', '3'};
+// Version history (the writer always emits the newest; the reader accepts
+// every version listed here, defaulting fields the older format lacks):
+//   '2' — namespace_shards (PR 4)
+//   '3' — + read-path fields cache_bytes, read_fanout_lanes (PR 5)
+//   '4' — + store fields store_backend, store_dir, store_segment_bytes
+constexpr char kMagic[8] = {'E', 'A', 'R', 'C', 'K', 'P', 'T', '4'};
+constexpr int kOldestSupported = 2;
+constexpr int kNewestSupported = 4;
 
 // ---- little-endian primitives ------------------------------------------
 
@@ -61,12 +66,30 @@ class Reader {
     return out;
   }
 
-  void expect_magic() {
+  std::string str() {
+    std::vector<uint8_t> raw = bytes();
+    return std::string(raw.begin(), raw.end());
+  }
+
+  // Validates the "EARCKPT<v>" magic and returns the format version.
+  // Unknown versions are rejected with a message naming the supported
+  // range, so a reader meeting a future format fails loudly instead of
+  // mis-parsing it.
+  int expect_magic() {
     if (pos_ + 8 > data_->size() ||
-        std::memcmp(data_->data(), kMagic, 8) != 0) {
+        std::memcmp(data_->data(), kMagic, 7) != 0) {
       throw std::runtime_error("not an EAR checkpoint");
     }
+    const int version = (*data_)[7] - '0';
+    if (version < kOldestSupported || version > kNewestSupported) {
+      throw std::runtime_error(
+          "unsupported EAR checkpoint version '" +
+          std::string(1, static_cast<char>((*data_)[7])) + "' (supported: " +
+          std::to_string(kOldestSupported) + ".." +
+          std::to_string(kNewestSupported) + ")");
+    }
     pos_ += 8;
+    return version;
   }
 
  private:
@@ -101,6 +124,13 @@ std::vector<uint8_t> save_checkpoint(const MiniCfs& cfs) {
   put_i64(out, image.config.namespace_shards);
   put_i64(out, image.config.cache_bytes);
   put_i64(out, image.config.read_fanout_lanes);
+  put_i64(out, static_cast<int64_t>(image.config.store_backend));
+  {
+    const std::string& dir = image.config.store_dir;
+    put_bytes(out, {reinterpret_cast<const uint8_t*>(dir.data()),
+                    dir.size()});
+  }
+  put_i64(out, image.config.store_segment_bytes);
   put_i64(out, image.next_block_id);
 
   // Block locations.
@@ -145,7 +175,7 @@ std::vector<uint8_t> save_checkpoint(const MiniCfs& cfs) {
 std::unique_ptr<MiniCfs> load_checkpoint(
     const std::vector<uint8_t>& data, std::unique_ptr<Transport> transport) {
   Reader in(data);
-  in.expect_magic();
+  const int version = in.expect_magic();
 
   ClusterImage image;
   image.config.racks = static_cast<int>(in.i64());
@@ -163,8 +193,20 @@ std::unique_ptr<MiniCfs> load_checkpoint(
                                   : erasure::Construction::kVandermonde;
   image.config.seed = in.u64();
   image.config.namespace_shards = static_cast<int>(in.i64());
-  image.config.cache_bytes = in.i64();
-  image.config.read_fanout_lanes = static_cast<int>(in.i64());
+  if (version >= 3) {
+    image.config.cache_bytes = in.i64();
+    image.config.read_fanout_lanes = static_cast<int>(in.i64());
+  }  // v2: keep the CfsConfig defaults (cache off, per-source fan-out)
+  if (version >= 4) {
+    const int64_t backend = in.i64();
+    if (backend != 0 && backend != 1) {
+      throw std::runtime_error("checkpoint has unknown store backend " +
+                               std::to_string(backend));
+    }
+    image.config.store_backend = static_cast<store::StoreBackend>(backend);
+    image.config.store_dir = in.str();
+    image.config.store_segment_bytes = in.i64();
+  }  // v2/v3: keep the CfsConfig defaults (mem backend)
   image.next_block_id = in.i64();
 
   const uint64_t location_count = in.u64();

@@ -3,9 +3,12 @@
 // restore a loaded cluster.
 //
 // Format: a self-describing little-endian binary stream,
-//   magic "EARCKPT3"
-//   cluster config (topology, code, replication, block size, read-path
-//   cache bytes and fan-out lanes)
+//   magic "EARCKPT<v>" (writer emits version 4; readers accept 2..4,
+//   defaulting the fields an older version lacks and rejecting unknown
+//   versions with a clear message)
+//   cluster config (topology, code, replication, block size; v3+ adds
+//   read-path cache bytes and fan-out lanes; v4+ adds the block-store
+//   backend, directory and segment size)
 //   block locations (block id -> node list)
 //   stripe map (data/parity block lists, encoded flag, stripe positions)
 //   per-node block stores (block id -> bytes)

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <stdexcept>
 #include <thread>
 
 #include "datapath/pipeline.h"
 #include "obs/trace.h"
 #include "placement/replica_layout.h"
+#include "store/mem_store.h"
+#include "store/mmap_store.h"
 
 namespace ear::cfs {
 
@@ -43,13 +46,33 @@ MiniCfs::MiniCfs(const CfsConfig& config, std::unique_ptr<Transport> transport)
   revive_all();
   datanodes_.reserve(static_cast<size_t>(topo_.node_count()));
   for (int i = 0; i < topo_.node_count(); ++i) {
-    datanodes_.push_back(std::make_unique<DataNode>());
+    datanodes_.push_back(make_store(i));
   }
 }
 
 MiniCfs::~MiniCfs() = default;
 
 // ----------------------------------------------------------------- stores
+
+std::unique_ptr<store::BlockStore> MiniCfs::make_store(NodeId node) const {
+  switch (config_.store_backend) {
+    case store::StoreBackend::kMem:
+      return std::make_unique<store::MemBlockStore>();
+    case store::StoreBackend::kMmap: {
+      if (config_.store_dir.empty()) {
+        throw std::invalid_argument(
+            "CfsConfig::store_dir is required for the mmap store backend");
+      }
+      char sub[16];
+      std::snprintf(sub, sizeof(sub), "node-%04d", node);
+      store::MmapStoreOptions options;
+      options.segment_bytes = config_.store_segment_bytes;
+      return std::make_unique<store::MmapBlockStore>(
+          config_.store_dir + "/" + sub, options);
+    }
+  }
+  throw std::invalid_argument("unknown store backend");
+}
 
 void MiniCfs::set_transport(std::unique_ptr<Transport> transport) {
   std::lock_guard<std::mutex> lock(transport_mu_);
@@ -62,27 +85,30 @@ void MiniCfs::set_transport(std::unique_ptr<Transport> transport) {
 }
 
 void MiniCfs::store(NodeId node, BlockId block, datapath::BlockBuffer bytes) {
-  DataNode& dn = *datanodes_[static_cast<size_t>(node)];
-  std::lock_guard<std::mutex> lock(dn.mu);
-  dn.blocks[block] = std::move(bytes);
+  datanodes_[static_cast<size_t>(node)]->put(block, std::move(bytes));
 }
 
 datapath::BlockBuffer MiniCfs::fetch(NodeId node, BlockId block) const {
-  const DataNode& dn = *datanodes_[static_cast<size_t>(node)];
-  std::lock_guard<std::mutex> lock(dn.mu);
-  const auto it = dn.blocks.find(block);
-  if (it == dn.blocks.end()) {
-    throw std::runtime_error("block " + std::to_string(block) +
-                             " not on node " + std::to_string(node));
+  const store::BlockStore& dn = *datanodes_[static_cast<size_t>(node)];
+  auto bytes = dn.get(block);
+  if (!bytes) {
+    // Name everything a post-mortem needs: which replica map entry was
+    // stale, which node's store, and which backend was serving it.
+    throw std::runtime_error(
+        "fetch: block " + std::to_string(block) + " not on node " +
+        std::to_string(node) + " (" + dn.name() + " store holding " +
+        std::to_string(dn.block_count()) + " blocks)");
   }
-  return it->second;  // shared reference, no byte copy
+  return *std::move(bytes);  // shared reference, no byte copy
 }
 
 void MiniCfs::erase(NodeId node, BlockId block) {
-  {
-    DataNode& dn = *datanodes_[static_cast<size_t>(node)];
-    std::lock_guard<std::mutex> lock(dn.mu);
-    dn.blocks.erase(block);
+  store::BlockStore& dn = *datanodes_[static_cast<size_t>(node)];
+  if (!dn.erase(block)) {
+    throw std::runtime_error(
+        "erase: block " + std::to_string(block) + " not on node " +
+        std::to_string(node) + " (" + dn.name() + " store holding " +
+        std::to_string(dn.block_count()) + " blocks)");
   }
   // Replica deleted (encode step (iii) or a future GC): readers must not
   // keep serving it once the last copy is gone, so drop cached copies now.
@@ -440,15 +466,70 @@ void MiniCfs::revive_node(NodeId node) {
   // for its blocks predate that and must be re-validated on next read.
   // (The constructor's revive_all() runs before datanodes_ exists — guard.)
   if (cache_ && static_cast<size_t>(node) < datanodes_.size()) {
-    std::vector<BlockId> held;
-    {
-      DataNode& dn = *datanodes_[static_cast<size_t>(node)];
-      std::lock_guard<std::mutex> lock(dn.mu);
-      held.reserve(dn.blocks.size());
-      for (const auto& [b, bytes] : dn.blocks) held.push_back(b);
+    for (const BlockId b : datanodes_[static_cast<size_t>(node)]->block_ids()) {
+      cache_->invalidate_block(b);
     }
-    for (const BlockId b : held) cache_->invalidate_block(b);
   }
+}
+
+MiniCfs::RestartReport MiniCfs::restart_node(NodeId node) {
+  RestartReport report;
+  // 1. Reopen the store from its backing medium.  The old instance is
+  // destroyed first; outstanding BlockBuffer views (readers, the cache)
+  // stay valid because buffers own their allocation / mapping.  For the
+  // mmap backend this replays the crash-consistent directory (truncating
+  // any torn tail); for the mem backend the node comes back empty.
+  datanodes_[static_cast<size_t>(node)].reset();
+  datanodes_[static_cast<size_t>(node)] = make_store(node);
+  const store::BlockStore& dn = *datanodes_[static_cast<size_t>(node)];
+
+  std::vector<BlockId> surviving = dn.block_ids();
+  report.blocks_recovered = static_cast<int64_t>(surviving.size());
+  const std::set<BlockId> surviving_set(surviving.begin(), surviving.end());
+
+  node_alive_[static_cast<size_t>(node)] = true;
+
+  // 2. Block report: reconcile the namespace with what actually survived.
+  // One snapshot, then per-block point updates (same discipline as
+  // restore_redundancy).
+  const NamespaceSnapshot snap = namespace_snapshot();
+  for (const auto& [block, status] : snap.blocks) {
+    const bool listed = std::find(status.locations.begin(),
+                                  status.locations.end(),
+                                  node) != status.locations.end();
+    const bool held = surviving_set.count(block) > 0;
+    if (listed && !held) {
+      // Lost in the crash (or never committed): prune so reads stop
+      // retrying this node and restore_redundancy sees the gap.
+      ns_.update_locations(block, [node](std::vector<NodeId>& locs) {
+        locs.erase(std::remove(locs.begin(), locs.end(), node), locs.end());
+      });
+      ++report.locations_pruned;
+    } else if (!listed && held) {
+      // Survived on disk but the NameNode moved on (e.g. the block was
+      // repaired elsewhere while the node was down): re-register the copy —
+      // this is what turns a full re-replication into a delta repair.
+      ns_.update_locations(block, [node](std::vector<NodeId>& locs) {
+        if (std::find(locs.begin(), locs.end(), node) == locs.end()) {
+          locs.push_back(node);
+        }
+      });
+      ++report.blocks_reregistered;
+    }
+    if (listed || held) cache_invalidate(block);
+  }
+
+  // 3. Blocks on disk the namespace has forgotten entirely (deleted while
+  // the node was down) are garbage — discard them from the store.
+  for (const BlockId block : surviving) {
+    if (snap.blocks.count(block) == 0) {
+      datanodes_[static_cast<size_t>(node)]->erase(block);
+      --report.blocks_recovered;
+      ++report.stale_blocks_discarded;
+      cache_invalidate(block);
+    }
+  }
+  return report;
 }
 
 void MiniCfs::revive_rack(RackId rack) {
@@ -495,9 +576,8 @@ std::vector<NodeId> MiniCfs::block_locations(BlockId block) const {
 }
 
 int64_t MiniCfs::blocks_stored_on(NodeId node) const {
-  const DataNode& dn = *datanodes_[static_cast<size_t>(node)];
-  std::lock_guard<std::mutex> lock(dn.mu);
-  return static_cast<int64_t>(dn.blocks.size());
+  return static_cast<int64_t>(
+      datanodes_[static_cast<size_t>(node)]->block_count());
 }
 
 }  // namespace ear::cfs

@@ -36,6 +36,7 @@
 #include "obs/metrics.h"
 #include "placement/policy.h"
 #include "placement/types.h"
+#include "store/block_store.h"
 
 namespace ear::cfs {
 
@@ -60,6 +61,18 @@ struct CfsConfig {
   // per source; 1 = the old single-lane round-robin fetch loop, byte- and
   // order-identical to the pre-fan-out path.
   int read_fanout_lanes = 0;
+  // DataNode block-store backend (src/store/).  kMem (default) keeps blocks
+  // in RAM — the pre-store behavior, byte for byte.  kMmap lays blocks out
+  // in per-node segment files under `store_dir` with a crash-consistent
+  // append-only directory; restart_node() then recovers a node's surviving
+  // blocks from disk instead of losing everything.
+  store::StoreBackend store_backend = store::StoreBackend::kMem;
+  // Root directory for persistent stores (per-node subdirectories
+  // node-0000, node-0001, ... are created inside).  Required when
+  // store_backend == kMmap; ignored for kMem.
+  std::string store_dir;
+  // Segment-file roll size for the mmap backend.
+  Bytes store_segment_bytes = 256_MB;
 };
 
 // StripeMeta, BlockStatus and NamespaceSnapshot live in cfs/namespace.h.
@@ -163,6 +176,30 @@ class MiniCfs {
   void revive_all();
   bool node_alive(NodeId node) const;
 
+  // Process restart: the node's in-memory store state is discarded and the
+  // store is reopened from its backing medium, then the node rejoins and
+  // files a block report the NameNode reconciles (HDFS DataNode
+  // re-registration).  With the mmap backend the store replays its
+  // crash-consistent directory, so committed blocks survive and only the
+  // delta (blocks lost in the crash, or re-homed while the node was down)
+  // needs repair; with the mem backend a restart loses every block — the
+  // two together turn "node restart" and "node lost its disk" into
+  // distinct, measurable scenarios (vs. revive_node, which models a
+  // transient stall with all state intact).
+  //
+  // Reconciliation: namespace locations naming this node for blocks the
+  // reopened store no longer holds are pruned (a later
+  // restore_redundancy() repairs them); surviving blocks the namespace
+  // still knows are re-registered; surviving blocks the namespace has
+  // forgotten entirely are discarded from the store.
+  struct RestartReport {
+    int64_t blocks_recovered = 0;     // blocks the reopened store holds
+    int64_t locations_pruned = 0;     // namespace locations dropped
+    int64_t blocks_reregistered = 0;  // surviving blocks re-added
+    int64_t stale_blocks_discarded = 0;  // store blocks no longer in ns
+  };
+  RestartReport restart_node(NodeId node);
+
   // Reconstructs a lost block of an encoded stripe onto `target` and
   // registers the new location.
   void repair_block(BlockId block, NodeId target);
@@ -216,14 +253,19 @@ class MiniCfs {
   }
 
  private:
-  struct DataNode {
-    mutable std::mutex mu;
-    std::map<BlockId, datapath::BlockBuffer> blocks;
-  };
+  // store_test drives the private fetch/erase error paths directly.
+  friend class MiniCfsTestPeer;
 
-  // Zero-copy block store: store() registers a shared buffer reference,
-  // fetch() hands one out; the node's mutex guards only the map, never a
-  // byte copy.
+  // Builds the configured store backend for one node (mem map, or an mmap
+  // store rooted at store_dir/node-NNNN).  Also the restart_node reopen
+  // path.
+  std::unique_ptr<store::BlockStore> make_store(NodeId node) const;
+
+  // Zero-copy block store access: store() registers a shared buffer
+  // reference (persistent backends commit it durably), fetch() hands one
+  // out; the store's internal mutex guards only index state, never a byte
+  // copy.  fetch() and erase() throw std::runtime_error naming the node,
+  // block, and backend when the block is absent.
   void store(NodeId node, BlockId block, datapath::BlockBuffer bytes);
   datapath::BlockBuffer fetch(NodeId node, BlockId block) const;
   void erase(NodeId node, BlockId block);
@@ -281,7 +323,7 @@ class MiniCfs {
   // or vice versa.
   NamespaceShards ns_;
   mutable std::mutex policy_mu_;
-  std::vector<std::unique_ptr<DataNode>> datanodes_;
+  std::vector<std::unique_ptr<store::BlockStore>> datanodes_;
   std::vector<std::atomic<bool>> node_alive_;
   std::atomic<BlockId> next_block_id_{0};
   // Inline (write-path) stripes count downward so they never collide with

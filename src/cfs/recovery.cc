@@ -167,8 +167,7 @@ ClusterImage MiniCfs::export_image() const {
   ns_.export_maps(&image.locations, &image.stripes, &image.block_positions);
   image.node_blocks.resize(datanodes_.size());
   for (size_t i = 0; i < datanodes_.size(); ++i) {
-    std::lock_guard<std::mutex> lock(datanodes_[i]->mu);
-    image.node_blocks[i] = datanodes_[i]->blocks;
+    image.node_blocks[i] = datanodes_[i]->export_blocks();
   }
   return image;
 }
@@ -201,8 +200,9 @@ std::unique_ptr<MiniCfs> MiniCfs::from_image(
                                       std::memory_order_relaxed);
   }
   for (size_t i = 0; i < image.node_blocks.size(); ++i) {
-    std::lock_guard<std::mutex> lock(cfs->datanodes_[i]->mu);
-    cfs->datanodes_[i]->blocks = std::move(image.node_blocks[i]);
+    for (auto& [block, bytes] : image.node_blocks[i]) {
+      cfs->datanodes_[i]->put(block, std::move(bytes));
+    }
   }
   return cfs;
 }

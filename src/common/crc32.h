@@ -1,0 +1,51 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum the
+// persistent block store uses for manifest records and block payloads.
+//
+// A plain byte-at-a-time table implementation: the store checksums a few
+// dozen bytes per manifest record and one block per commit, so table lookup
+// speed is never on the data-path critical path (the staged pipeline's GF
+// kernels are).  Header-only so the store library stays dependency-free.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace ear {
+
+namespace detail {
+
+inline const std::array<uint32_t, 256>& crc32_table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+// Incremental form: pass the previous return value as `seed` to continue a
+// running checksum; the default starts a fresh one.
+inline uint32_t crc32(std::span<const uint8_t> data, uint32_t seed = 0) {
+  const auto& table = detail::crc32_table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const uint8_t b : data) {
+    c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+inline uint32_t crc32(const void* data, size_t len, uint32_t seed = 0) {
+  return crc32({static_cast<const uint8_t*>(data), len}, seed);
+}
+
+}  // namespace ear

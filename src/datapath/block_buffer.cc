@@ -28,6 +28,14 @@ BlockBuffer BlockBuffer::take(std::vector<uint8_t> data) {
   return BlockBuffer(std::move(bytes), owner->size());
 }
 
+BlockBuffer BlockBuffer::view_of(std::shared_ptr<const void> owner,
+                                 const uint8_t* data, size_t size) {
+  // Alias onto the owner's control block: the view shares the owner's
+  // lifetime, the element pointer addresses the mapped bytes — no copy.
+  std::shared_ptr<const uint8_t[]> bytes(std::move(owner), data);
+  return BlockBuffer(std::move(bytes), size);
+}
+
 std::vector<uint8_t> BlockBuffer::to_vector() const {
   count_copy(size_);
   return std::vector<uint8_t>(data(), data() + size_);

@@ -44,6 +44,16 @@ class BlockBuffer {
   // Takes ownership of `data` without copying the bytes.
   static BlockBuffer take(std::vector<uint8_t> data);
 
+  // Zero-copy view of memory owned by `owner` (an mmap'd store segment, a
+  // pooled arena, ...).  The returned buffer keeps `owner` alive for its
+  // whole lifetime via the shared_ptr aliasing constructor; the bytes at
+  // [data, data + size) must stay valid and immutable for as long as
+  // `owner`'s control block is.  refs() counts handles on `owner` exactly
+  // like the heap-backed variants, so cache/pipeline sharing asserts keep
+  // working over persistent stores.
+  static BlockBuffer view_of(std::shared_ptr<const void> owner,
+                             const uint8_t* data, size_t size);
+
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   const uint8_t* data() const { return data_.get(); }

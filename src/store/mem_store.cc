@@ -1,0 +1,54 @@
+#include "store/mem_store.h"
+
+namespace ear::store {
+
+void MemBlockStore::put(BlockId block, datapath::BlockBuffer bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocks_[block] = std::move(bytes);
+}
+
+std::optional<datapath::BlockBuffer> MemBlockStore::get(BlockId block) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = blocks_.find(block);
+  if (it == blocks_.end()) return std::nullopt;
+  return it->second;  // shared reference, no byte copy
+}
+
+bool MemBlockStore::erase(BlockId block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.erase(block) > 0;
+}
+
+bool MemBlockStore::contains(BlockId block) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.count(block) > 0;
+}
+
+size_t MemBlockStore::block_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.size();
+}
+
+int64_t MemBlockStore::bytes_stored() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [id, bytes] : blocks_) {
+    total += static_cast<int64_t>(bytes.size());
+  }
+  return total;
+}
+
+std::vector<BlockId> MemBlockStore::block_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BlockId> ids;
+  ids.reserve(blocks_.size());
+  for (const auto& [id, bytes] : blocks_) ids.push_back(id);
+  return ids;  // map order: ascending
+}
+
+std::map<BlockId, datapath::BlockBuffer> MemBlockStore::export_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_;  // buffers shared, metadata-only copy
+}
+
+}  // namespace ear::store

@@ -1,0 +1,35 @@
+// RAM-resident block store — the seed MiniCfs::DataNode behavior behind the
+// BlockStore interface, byte for byte: a mutex-guarded ordered map of
+// ref-counted BlockBuffers.  The default backend; a restart_node() over it
+// models a node that lost its disk (everything must be re-replicated).
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "store/block_store.h"
+
+namespace ear::store {
+
+class MemBlockStore final : public BlockStore {
+ public:
+  MemBlockStore() = default;
+
+  StoreBackend backend() const override { return StoreBackend::kMem; }
+
+  void put(BlockId block, datapath::BlockBuffer bytes) override;
+  std::optional<datapath::BlockBuffer> get(BlockId block) const override;
+  bool erase(BlockId block) override;
+
+  bool contains(BlockId block) const override;
+  size_t block_count() const override;
+  int64_t bytes_stored() const override;
+  std::vector<BlockId> block_ids() const override;
+  std::map<BlockId, datapath::BlockBuffer> export_blocks() const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<BlockId, datapath::BlockBuffer> blocks_;
+};
+
+}  // namespace ear::store

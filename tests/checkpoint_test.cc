@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <map>
 
 #include "common/rng.h"
@@ -126,6 +127,111 @@ TEST(Checkpoint, RejectsGarbage) {
   std::vector<uint8_t> truncated{'E', 'A', 'R', 'C', 'K', 'P', 'T', '1', 0};
   EXPECT_THROW(load_checkpoint(truncated, instant(ck_config())),
                std::runtime_error);
+}
+
+// Down-converts a freshly saved (v4) image to an older format version by
+// deleting the fields that version lacks and patching the magic digit.
+// Layout: 8-byte magic, 13 fixed i64 config fields, the v3 read-path pair
+// (cache_bytes, read_fanout_lanes), then the v4 store triple (backend,
+// length-prefixed dir, segment bytes).
+std::vector<uint8_t> downconvert(std::vector<uint8_t> image, int version) {
+  constexpr size_t kV3Offset = 8 + 13 * 8;
+  constexpr size_t kV4Offset = kV3Offset + 2 * 8;
+  uint64_t dir_len = 0;
+  for (int i = 0; i < 8; ++i) {
+    dir_len |= static_cast<uint64_t>(image[kV4Offset + 8 +
+                                           static_cast<size_t>(i)])
+               << (8 * i);
+  }
+  const auto v4_begin = image.begin() + static_cast<ptrdiff_t>(kV4Offset);
+  image.erase(v4_begin, v4_begin + static_cast<ptrdiff_t>(3 * 8 + dir_len));
+  if (version == 2) {
+    const auto v3_begin = image.begin() + static_cast<ptrdiff_t>(kV3Offset);
+    image.erase(v3_begin, v3_begin + 2 * 8);
+  }
+  image[7] = static_cast<uint8_t>('0' + version);
+  return image;
+}
+
+TEST(Checkpoint, LoadsVersion3WithStoreDefaults) {
+  const auto cfg = ck_config();
+  auto original = make_cfs(cfg);
+  Rng rng(5);
+  const auto contents = populate(*original, rng);
+
+  const auto v3 = downconvert(save_checkpoint(*original), 3);
+  auto restored = load_checkpoint(v3, instant(cfg));
+  EXPECT_EQ(restored->config().store_backend, store::StoreBackend::kMem);
+  EXPECT_EQ(restored->config().store_dir, "");
+  EXPECT_EQ(restored->config().store_segment_bytes, 256_MB);
+  for (const auto& [id, data] : contents) {
+    EXPECT_EQ(restored->read_block(id, 0), data);
+  }
+}
+
+TEST(Checkpoint, LoadsVersion2WithReadPathAndStoreDefaults) {
+  const auto cfg = ck_config();
+  auto original = make_cfs(cfg);
+  Rng rng(6);
+  const auto contents = populate(*original, rng);
+
+  const auto v2 = downconvert(save_checkpoint(*original), 2);
+  auto restored = load_checkpoint(v2, instant(cfg));
+  EXPECT_EQ(restored->config().cache_bytes, 0);
+  EXPECT_EQ(restored->config().read_fanout_lanes, 0);
+  EXPECT_EQ(restored->config().store_backend, store::StoreBackend::kMem);
+  for (const auto& [id, data] : contents) {
+    EXPECT_EQ(restored->read_block(id, 0), data);
+  }
+}
+
+TEST(Checkpoint, RejectsVersionsOutsideSupportedRange) {
+  const auto cfg = ck_config();
+  auto original = make_cfs(cfg);
+  Rng rng(7);
+  populate(*original, rng);
+  auto image = save_checkpoint(*original);
+
+  // A too-old and a too-new digit must both fail loudly, naming the range,
+  // even though the rest of the stream is intact.
+  for (const char digit : {'1', '5'}) {
+    auto bad = image;
+    bad[7] = static_cast<uint8_t>(digit);
+    try {
+      load_checkpoint(bad, instant(cfg));
+      FAIL() << "version '" << digit << "' must be rejected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("supported: 2..4"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Checkpoint, RoundTripPreservesStoreConfig) {
+  auto cfg = ck_config();
+  cfg.store_backend = store::StoreBackend::kMmap;
+  cfg.store_dir = ::testing::TempDir() + "/ear-store-ckpt-roundtrip";
+  cfg.store_segment_bytes = 4_MB;
+  std::filesystem::remove_all(cfg.store_dir);
+  std::filesystem::create_directories(cfg.store_dir);
+  auto original = make_cfs(cfg);
+  Rng rng(8);
+  const auto contents = populate(*original, rng);
+  const auto image = save_checkpoint(*original);
+
+  // Destroy the writer before reopening: the restored cluster replays the
+  // same on-disk directories, mirroring a full-cluster restart.
+  original.reset();
+  auto restored = load_checkpoint(image, instant(cfg));
+  EXPECT_EQ(restored->config().store_backend, store::StoreBackend::kMmap);
+  EXPECT_EQ(restored->config().store_dir, cfg.store_dir);
+  EXPECT_EQ(restored->config().store_segment_bytes, 4_MB);
+  for (const auto& [id, data] : contents) {
+    EXPECT_EQ(restored->read_block(id, 0), data);
+  }
+  restored.reset();
+  std::filesystem::remove_all(cfg.store_dir);
 }
 
 }  // namespace
