@@ -292,6 +292,9 @@ int main(int argc, char** argv) {
     }
     bench::note("wrote " + log_out);
   }
+  // CI byte-identity gate: stop after the replay comparison so the gate is
+  // cheap and its exit code reflects determinism alone.
+  if (flags.get_bool("replay-only")) return identical ? 0 : 1;
 
   // ---- Part 2: live threads ----------------------------------------------
   bench::header("Extension: live chaos",

@@ -10,6 +10,8 @@ int main(int argc, char** argv) {
   const FlagParser flags(argc, argv);
   const int runs = static_cast<int>(flags.get_int("runs", 5));
 
+  bench::RatioCsv csv(flags);
+
   bench::header("Figure 13(c)", "EAR/RR normalized throughput vs link bw");
   bench::print_ratio_header();
   for (const double gb : {0.2, 0.5, 1.0, 1.5, 2.0}) {
@@ -18,9 +20,11 @@ int main(int argc, char** argv) {
     cfg.net.rack_uplink_bw = gbps(gb);
     char label[32];
     std::snprintf(label, sizeof(label), "%.1f Gb/s", gb);
-    bench::print_ratio_row(label, bench::run_pairs(cfg, runs));
+    const auto samples = bench::run_pairs(cfg, runs);
+    bench::print_ratio_row(label, samples);
+    csv.add("vary_bw", label, samples);
   }
   bench::note("paper: encode gain 165.2% at 0.2 Gb/s, decreasing with bw; "
               "write gain ~20%");
-  return 0;
+  return csv.close();
 }

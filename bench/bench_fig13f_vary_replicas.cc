@@ -11,6 +11,8 @@ int main(int argc, char** argv) {
   const FlagParser flags(argc, argv);
   const int runs = static_cast<int>(flags.get_int("runs", 5));
 
+  bench::RatioCsv csv(flags);
+
   bench::header("Figure 13(f)",
                 "EAR/RR normalized throughput vs replication factor "
                 "(one replica per rack)");
@@ -19,9 +21,11 @@ int main(int argc, char** argv) {
     auto cfg = bench::default_b2_config(flags);
     cfg.placement.replication = r;
     cfg.placement.one_replica_per_rack = true;
-    bench::print_ratio_row("r=" + std::to_string(r),
-                           bench::run_pairs(cfg, runs));
+    const std::string label = "r=" + std::to_string(r);
+    const auto samples = bench::run_pairs(cfg, runs);
+    bench::print_ratio_row(label, samples);
+    csv.add("vary_replicas", label, samples);
   }
   bench::note("paper: encode gain ~70% across r; write gain 34.7% -> 2.5%");
-  return 0;
+  return csv.close();
 }

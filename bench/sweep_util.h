@@ -12,11 +12,14 @@
 //    time) during the encoding window, EAR over RR.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/csv.h"
 #include "common/flags.h"
 #include "common/stats.h"
 #include "sim/cluster.h"
@@ -103,5 +106,50 @@ inline void print_ratio_header() {
       "EAR/RR encode thpt med [min mean max]",
       "EAR/RR write goodput med [min mean max]");
 }
+
+// --csv-out sink shared by the ratio sweeps (common/csv.h): one row per
+// swept parameter value with the full boxplot of both ratios.  With no
+// --csv-out the rows go to /dev/null, so sweeps call add() unconditionally.
+class RatioCsv {
+ public:
+  explicit RatioCsv(const FlagParser& flags)
+      : path_(flags.get_string("csv-out")),
+        writer_(path_.empty() ? "/dev/null" : path_) {
+    if (!path_.empty() && !writer_.ok()) {
+      std::fprintf(stderr, "cannot open %s\n", path_.c_str());
+      std::exit(1);
+    }
+    writer_.row(
+        "sweep,param,encode_median,encode_min,encode_mean,encode_max,"
+        "write_median,write_min,write_mean,write_max\n");
+  }
+
+  void add(const std::string& sweep, const std::string& label,
+           const RatioSamples& s) {
+    const auto& e = s.encode_ratio;
+    const auto& w = s.write_ratio;
+    writer_.row("%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+                sweep.c_str(), label.c_str(), e.empty() ? 0.0 : e.median(),
+                e.empty() ? 0.0 : e.min(), e.empty() ? 0.0 : e.mean(),
+                e.empty() ? 0.0 : e.max(), w.empty() ? 0.0 : w.median(),
+                w.empty() ? 0.0 : w.min(), w.empty() ? 0.0 : w.mean(),
+                w.empty() ? 0.0 : w.max());
+  }
+
+  // Main's exit code: deferred write failures (ENOSPC at flush time) must
+  // fail the bench instead of silently truncating the result file.
+  int close() {
+    const bool ok = writer_.close();
+    if (!path_.empty() && !ok) {
+      std::perror("csv close");
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  std::string path_;
+  CsvWriter writer_;
+};
 
 }  // namespace ear::bench

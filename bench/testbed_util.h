@@ -30,6 +30,12 @@ struct TestbedParams {
   // and degraded-read fetch lanes (0 = one per source, 1 = round-robin).
   Bytes cache_bytes = 0;
   int read_fanout_lanes = 0;
+  // Distributed encode/repair DAGs (CfsConfig::ecdag_enable).
+  bool ecdag = false;
+  // Give every block distinct random bytes instead of one shared payload —
+  // required when a bench asserts parity byte-identity across data paths
+  // (identical payloads make XOR cancellations mask coefficient bugs).
+  bool distinct_payloads = false;
   cfs::ThrottleConfig throttle{};
   uint64_t seed = 1;
 
@@ -55,6 +61,7 @@ struct TestbedParams {
     p.cache_bytes = static_cast<Bytes>(flags.get_int("cache-bytes", 0));
     p.read_fanout_lanes =
         static_cast<int>(flags.get_int("fanout-lanes", 0));
+    p.ecdag = flags.get_bool("ecdag");
     p.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
     return p;
   }
@@ -80,6 +87,7 @@ inline LoadedTestbed make_loaded_testbed(const TestbedParams& params,
   cfg.block_size = params.block_size;
   cfg.cache_bytes = params.cache_bytes;
   cfg.read_fanout_lanes = params.read_fanout_lanes;
+  cfg.ecdag_enable = params.ecdag;
   cfg.seed = params.seed;
 
   const Topology topo(cfg.racks, cfg.nodes_per_rack);
@@ -94,6 +102,9 @@ inline LoadedTestbed make_loaded_testbed(const TestbedParams& params,
   NodeId writer = static_cast<NodeId>(rng.uniform(
       static_cast<uint64_t>(topo.node_count())));
   while (static_cast<int>(cfs->sealed_stripes().size()) < params.stripes) {
+    if (params.distinct_payloads) {
+      for (auto& b : payload) b = static_cast<uint8_t>(rng.uniform(256));
+    }
     cfs->write_block(payload, writer);
     writer = (writer + 1) % topo.node_count();
   }

@@ -14,9 +14,10 @@ namespace {
 //   '2' — namespace_shards (PR 4)
 //   '3' — + read-path fields cache_bytes, read_fanout_lanes (PR 5)
 //   '4' — + store fields store_backend, store_dir, store_segment_bytes
-constexpr char kMagic[8] = {'E', 'A', 'R', 'C', 'K', 'P', 'T', '4'};
+//   '5' — + ecdag_enable (PR 7)
+constexpr char kMagic[8] = {'E', 'A', 'R', 'C', 'K', 'P', 'T', '5'};
 constexpr int kOldestSupported = 2;
-constexpr int kNewestSupported = 4;
+constexpr int kNewestSupported = 5;
 
 // ---- little-endian primitives ------------------------------------------
 
@@ -131,6 +132,7 @@ std::vector<uint8_t> save_checkpoint(const MiniCfs& cfs) {
                     dir.size()});
   }
   put_i64(out, image.config.store_segment_bytes);
+  put_i64(out, image.config.ecdag_enable ? 1 : 0);
   put_i64(out, image.next_block_id);
 
   // Block locations.
@@ -207,6 +209,9 @@ std::unique_ptr<MiniCfs> load_checkpoint(
     image.config.store_dir = in.str();
     image.config.store_segment_bytes = in.i64();
   }  // v2/v3: keep the CfsConfig defaults (mem backend)
+  if (version >= 5) {
+    image.config.ecdag_enable = in.i64() != 0;
+  }  // v2..v4: keep the CfsConfig default (legacy single-node data path)
   image.next_block_id = in.i64();
 
   const uint64_t location_count = in.u64();

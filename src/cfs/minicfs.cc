@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "datapath/pipeline.h"
+#include "ecdag/dag.h"
+#include "ecdag/executor.h"
 #include "obs/trace.h"
 #include "placement/replica_layout.h"
 #include "store/mem_store.h"
@@ -288,6 +290,26 @@ datapath::BlockBuffer MiniCfs::degraded_read(BlockId block, NodeId reader) {
   datapath::MutableBlockBuffer out(static_cast<size_t>(config_.block_size));
   std::vector<erasure::MutBlockView> out_views{out.span()};
 
+  if (config_.ecdag_enable) {
+    // Distributed reconstruction (src/ecdag/): the 1 x k decode row lowered
+    // into a rack-aware partial-sum tree rooted at the reader.  A rack
+    // holding several sources XOR-combines its coeff x block terms locally
+    // and ships one chunk instead of one per block — the repair-pipelining
+    // win, byte-identical to the single-node decode.
+    const ecdag::EcDag dag = ecdag::build_aggregation_dag(
+        coeffs, sources, /*output_nodes=*/{reader}, reader, topo_);
+    ecdag::ExecOptions opts;
+    opts.unit_size = config_.block_size;
+    opts.preferred_chunk = transport_->preferred_chunk();
+    ecdag::execute(
+        dag, topo_, views, out_views,
+        [this](NodeId src, NodeId dst, Bytes len) {
+          transport_->transfer(src, dst, len);
+        },
+        nullptr, opts);
+    return std::move(out).seal();
+  }
+
   // Fan-out: one fetch lane per source node (or read_fanout_lanes of them,
   // each covering sources lane, lane+lanes, ... in round-robin order), so a
   // congested cross-rack source no longer head-of-line-blocks the intra-rack
@@ -378,42 +400,66 @@ void MiniCfs::encode_stripe(StripeId stripe,
     parity_views.emplace_back(parity_bufs.back().span());
   }
 
-  // Staged pipeline: fetch chunk c of every data block to the encoder,
-  // encode it into the parity windows, and push the finished parity chunks
-  // out — all three stages overlap across chunks, so the upload rides the
-  // encoder's up-link while later fetches still occupy its down-link
-  // (RapidRAID-style encode ≈ k block-times instead of k + m).
-  const datapath::ChunkPlan chunks{config_.block_size,
-                                   transport_->preferred_chunk()};
-  datapath::StagedPipeline::run(
-      chunks.count(),
-      /*fetch=*/
-      [&](int c) {
-        const Bytes len = static_cast<Bytes>(chunks.len(c));
-        for (int i = 0; i < k; ++i) {
-          const NodeId src = sources[static_cast<size_t>(i)];
-          if (src != plan.encoder) {
-            transport_->transfer(src, plan.encoder, len);
-          } else {
-            transport_->local_read(src, len);
+  if (config_.ecdag_enable) {
+    // Distributed encode (src/ecdag/): the generator's parity rows lowered
+    // into a rack-aware partial-sum tree rooted at the encoder.  Each remote
+    // rack with more blocks than parity outputs XOR-combines its terms
+    // locally and ships one chunk per parity across the core switch; the
+    // result is byte-identical (GF(2^8) addition is XOR, associative).
+    std::vector<int> parity_rows(static_cast<size_t>(m));
+    for (int j = 0; j < m; ++j) parity_rows[static_cast<size_t>(j)] = k + j;
+    const erasure::Matrix coeffs = code_.generator().select_rows(parity_rows);
+    const ecdag::EcDag dag = ecdag::build_aggregation_dag(
+        coeffs, sources, plan.parity, plan.encoder, topo_);
+    ecdag::ExecOptions opts;
+    opts.unit_size = config_.block_size;
+    opts.preferred_chunk = transport_->preferred_chunk();
+    opts.charge_local_reads = true;
+    ecdag::execute(
+        dag, topo_, data_views, parity_views,
+        [this](NodeId src, NodeId dst, Bytes len) {
+          transport_->transfer(src, dst, len);
+        },
+        [this](NodeId node, Bytes len) { transport_->local_read(node, len); },
+        opts);
+  } else {
+    // Staged pipeline: fetch chunk c of every data block to the encoder,
+    // encode it into the parity windows, and push the finished parity chunks
+    // out — all three stages overlap across chunks, so the upload rides the
+    // encoder's up-link while later fetches still occupy its down-link
+    // (RapidRAID-style encode ≈ k block-times instead of k + m).
+    const datapath::ChunkPlan chunks{config_.block_size,
+                                     transport_->preferred_chunk()};
+    datapath::StagedPipeline::run(
+        chunks.count(),
+        /*fetch=*/
+        [&](int c) {
+          const Bytes len = static_cast<Bytes>(chunks.len(c));
+          for (int i = 0; i < k; ++i) {
+            const NodeId src = sources[static_cast<size_t>(i)];
+            if (src != plan.encoder) {
+              transport_->transfer(src, plan.encoder, len);
+            } else {
+              transport_->local_read(src, len);
+            }
           }
-        }
-      },
-      /*compute=*/
-      [&](int c) {
-        code_.encode_chunk(data_views, parity_views, chunks.offset(c),
-                           chunks.len(c));
-      },
-      /*upload=*/
-      [&](int c) {
-        const Bytes len = static_cast<Bytes>(chunks.len(c));
-        for (int j = 0; j < m; ++j) {
-          const NodeId dst = plan.parity[static_cast<size_t>(j)];
-          if (dst != plan.encoder) {
-            transport_->transfer(plan.encoder, dst, len);
+        },
+        /*compute=*/
+        [&](int c) {
+          code_.encode_chunk(data_views, parity_views, chunks.offset(c),
+                             chunks.len(c));
+        },
+        /*upload=*/
+        [&](int c) {
+          const Bytes len = static_cast<Bytes>(chunks.len(c));
+          for (int j = 0; j < m; ++j) {
+            const NodeId dst = plan.parity[static_cast<size_t>(j)];
+            if (dst != plan.encoder) {
+              transport_->transfer(plan.encoder, dst, len);
+            }
           }
-        }
-      });
+        });
+  }
 
   std::vector<BlockId> parity_ids(static_cast<size_t>(m));
   const BlockId parity_base =

@@ -73,6 +73,12 @@ struct CfsConfig {
   std::string store_dir;
   // Segment-file roll size for the mmap backend.
   Bytes store_segment_bytes = 256_MB;
+  // Distributed encode/repair DAGs (src/ecdag/): encode, repair, and
+  // degraded-read reconstruction run as rack-aware partial-sum trees, so
+  // each remote rack ships one combined chunk per requested output across
+  // the core switch instead of every raw block.  false (default) keeps the
+  // legacy single-node fan-in data path, byte for byte.
+  bool ecdag_enable = false;
 };
 
 // StripeMeta, BlockStatus and NamespaceSnapshot live in cfs/namespace.h.

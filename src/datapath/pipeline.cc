@@ -141,13 +141,14 @@ class LaneGate {
 
 void StagedPipeline::run_fanout(int chunks, int lanes,
                                 const std::function<void(int, int)>& fetch,
-                                const std::function<void(int)>& compute) {
+                                const std::function<void(int)>& compute,
+                                const std::function<void(int)>& upload) {
   if (lanes <= 1) {
     // Single lane: identical to the round-robin baseline.  Note chunks <= 1
     // must NOT collapse to this path when lanes > 1 — each lane covers a
     // disjoint share of the sources, so every lane must still run.
     run(
-        chunks, [&fetch](int c) { fetch(0, c); }, compute);
+        chunks, [&fetch](int c) { fetch(0, c); }, compute, upload);
     return;
   }
 
@@ -189,6 +190,19 @@ void StagedPipeline::run_fanout(int chunks, int lanes,
     });
   }
 
+  ChunkLadder computed;  // compute -> upload
+  std::thread uploader;
+  if (upload) {
+    uploader = std::thread([&] {
+      obs::Span span("datapath.upload", "datapath");
+      span.arg("chunks", chunks);
+      for (int c = 0; c < chunks; ++c) {
+        if (!computed.wait_for(c + 1)) return;
+        upload(c);
+      }
+    });
+  }
+
   {
     obs::Span span("datapath.compute", "datapath");
     span.arg("chunks", chunks);
@@ -203,15 +217,20 @@ void StagedPipeline::run_fanout(int chunks, int lanes,
         }
         min_ready = std::min(min_ready, ladder.ready());
       }
-      if (!rung_complete) break;
+      if (!rung_complete) {
+        computed.abort();
+        break;
+      }
       // Rungs every lane has fully delivered but compute has not consumed:
       // > 1 proves the lanes ran ahead while we decoded.
       gauge_in_flight->set_max(static_cast<double>(min_ready - c));
       compute(c);
+      computed.publish(c + 1);
     }
   }
 
   for (auto& t : lane_threads) t.join();
+  if (uploader.joinable()) uploader.join();
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }

@@ -89,13 +89,16 @@ class StagedPipeline {
                   const std::function<void(int)>& compute,
                   const std::function<void(int)>& upload = nullptr);
 
-  // Fan-out variant for degraded reads: `lanes` fetch lanes run
-  // concurrently, each on its own dedicated stage thread, and
+  // Fan-out variant for degraded reads and DAG execution: `lanes` fetch
+  // lanes run concurrently, each on its own dedicated stage thread, and
   // fetch(lane, c) is called once per (lane, chunk).  Each lane streams its
   // chunks independently — a lane stuck behind a congested cross-rack link
   // no longer head-of-line-blocks the intra-rack lanes — and compute(c)
   // starts as soon as every lane has delivered chunk c (the k chunks of
-  // ladder rung c have landed).
+  // ladder rung c have landed).  An optional `upload` stage mirrors run():
+  // upload(c) runs on its own dedicated thread as soon as compute(c) has
+  // finished, so result chunks leave while later rungs are still arriving
+  // (the ecdag executor ships parity/reconstruction chunks this way).
   //
   // Lane threads are dedicated, never pool slots (see the pool's
   // wait-on-queued-task rule), but their *concurrency* is bounded: at most
@@ -110,10 +113,11 @@ class StagedPipeline {
   // the work); only the ladder depth is trivial.
   //
   // Like run(), only `fetch` may throw; the first lane error aborts every
-  // stage and is rethrown after the lanes drain.
+  // stage (including the uploader) and is rethrown after the lanes drain.
   static void run_fanout(int chunks, int lanes,
                          const std::function<void(int, int)>& fetch,
-                         const std::function<void(int)>& compute);
+                         const std::function<void(int)>& compute,
+                         const std::function<void(int)>& upload = nullptr);
 
   // Process-wide cap on lanes concurrently moving bytes (== the shared
   // WorkerPool thread cap).

@@ -1,0 +1,299 @@
+#include "ecdag/dag.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "gf256/gf256.h"
+
+namespace ear::ecdag {
+
+namespace {
+
+bool column_is_zero(const erasure::Matrix& coeffs, int col) {
+  for (int r = 0; r < coeffs.rows(); ++r) {
+    if (coeffs.at(r, col) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+EcDag build_aggregation_dag(const erasure::Matrix& coeffs,
+                            const std::vector<NodeId>& input_nodes,
+                            const std::vector<NodeId>& output_nodes,
+                            NodeId root, const Topology& topo,
+                            const BuildOptions& opts) {
+  const int n_in = coeffs.cols();
+  const int n_out = coeffs.rows();
+  EcDag dag;
+  dag.n_in = n_in;
+  dag.n_out = n_out;
+  dag.root = root;
+  dag.input_nodes = input_nodes;
+  dag.output_nodes = output_nodes;
+
+  // One fetch per used input (all-zero columns are never moved).
+  std::vector<int> fetch_idx(static_cast<size_t>(n_in), -1);
+  for (int i = 0; i < n_in; ++i) {
+    if (column_is_zero(coeffs, i)) continue;
+    DagNode fetch;
+    fetch.op = DagOp::kFetch;
+    fetch.where = input_nodes[static_cast<size_t>(i)];
+    fetch.input = i;
+    fetch_idx[static_cast<size_t>(i)] = static_cast<int>(dag.nodes.size());
+    dag.nodes.push_back(std::move(fetch));
+  }
+
+  // Group the used inputs by rack.  The root's own rack never aggregates:
+  // its blocks reach the root without touching the core switch, so a
+  // partial sum there saves nothing.
+  const RackId root_rack = topo.rack_of(root);
+  std::map<RackId, std::vector<int>> by_rack;  // remote racks only
+  std::vector<int> root_side;                  // consumed directly at root
+  for (int i = 0; i < n_in; ++i) {
+    if (fetch_idx[static_cast<size_t>(i)] < 0) continue;
+    const RackId r = topo.rack_of(input_nodes[static_cast<size_t>(i)]);
+    if (r == root_rack) {
+      root_side.push_back(i);
+    } else {
+      by_rack[r].push_back(i);
+    }
+  }
+
+  // Per aggregated rack: partial-sum Aggregates, one per output the rack
+  // contributes to.  rack_partials[j] collects them for each output j.
+  std::vector<std::vector<int>> rack_partials(static_cast<size_t>(n_out));
+  for (auto& [rack, inputs] : by_rack) {
+    // A rack ships one partial per output it touches; aggregation pays off
+    // iff that is fewer chunks than its raw blocks.
+    int touched_outputs = 0;
+    for (int j = 0; j < n_out; ++j) {
+      for (const int i : inputs) {
+        if (coeffs.at(j, i) != 0) {
+          ++touched_outputs;
+          break;
+        }
+      }
+    }
+    const bool aggregate =
+        opts.force_aggregate
+            ? inputs.size() >= 2
+            : touched_outputs < static_cast<int>(inputs.size());
+    if (!aggregate) {
+      root_side.insert(root_side.end(), inputs.begin(), inputs.end());
+      continue;
+    }
+    // Deterministic aggregator: the lowest-numbered node already holding a
+    // contributing block (its own term needs no network hop).
+    NodeId agg = input_nodes[static_cast<size_t>(inputs.front())];
+    for (const int i : inputs) {
+      agg = std::min(agg, input_nodes[static_cast<size_t>(i)]);
+    }
+    for (int j = 0; j < n_out; ++j) {
+      std::vector<int> terms;
+      for (const int i : inputs) {
+        const uint8_t c = coeffs.at(j, i);
+        if (c == 0) continue;
+        DagNode mul;
+        mul.op = DagOp::kMulAdd;
+        mul.where = agg;
+        mul.coeff = c;
+        mul.children = {fetch_idx[static_cast<size_t>(i)]};
+        terms.push_back(static_cast<int>(dag.nodes.size()));
+        dag.nodes.push_back(std::move(mul));
+      }
+      if (terms.empty()) continue;
+      DagNode partial;
+      partial.op = DagOp::kAggregate;
+      partial.where = agg;
+      partial.children = std::move(terms);
+      rack_partials[static_cast<size_t>(j)].push_back(
+          static_cast<int>(dag.nodes.size()));
+      dag.nodes.push_back(std::move(partial));
+    }
+  }
+
+  // Root side: per output, multiply the directly-consumed inputs at the
+  // root, then one final Aggregate combining them with the rack partials.
+  for (int j = 0; j < n_out; ++j) {
+    std::vector<int> terms;
+    for (const int i : root_side) {
+      const uint8_t c = coeffs.at(j, i);
+      if (c == 0) continue;
+      DagNode mul;
+      mul.op = DagOp::kMulAdd;
+      mul.where = root;
+      mul.coeff = c;
+      mul.children = {fetch_idx[static_cast<size_t>(i)]};
+      terms.push_back(static_cast<int>(dag.nodes.size()));
+      dag.nodes.push_back(std::move(mul));
+    }
+    terms.insert(terms.end(), rack_partials[static_cast<size_t>(j)].begin(),
+                 rack_partials[static_cast<size_t>(j)].end());
+    DagNode final_sum;
+    final_sum.op = DagOp::kAggregate;
+    final_sum.where = root;
+    final_sum.children = std::move(terms);
+    const int final_idx = static_cast<int>(dag.nodes.size());
+    dag.nodes.push_back(std::move(final_sum));
+
+    DagNode out;
+    out.op = DagOp::kOutput;
+    out.where = output_nodes[static_cast<size_t>(j)];
+    out.output = j;
+    out.children = {final_idx};
+    dag.outputs.push_back(static_cast<int>(dag.nodes.size()));
+    dag.nodes.push_back(std::move(out));
+  }
+  return dag;
+}
+
+std::string validate(const EcDag& dag, const erasure::Matrix& coeffs) {
+  if (dag.n_in != coeffs.cols() || dag.n_out != coeffs.rows()) {
+    return "dag dimensions do not match the coefficient matrix";
+  }
+  if (static_cast<int>(dag.input_nodes.size()) != dag.n_in ||
+      static_cast<int>(dag.output_nodes.size()) != dag.n_out) {
+    return "input_nodes/output_nodes sizes do not match n_in/n_out";
+  }
+  const auto id = [](int idx) { return "node " + std::to_string(idx); };
+
+  // Bottom-up symbolic evaluation: vec[idx][i] is node idx's GF coefficient
+  // on input i.
+  std::vector<std::vector<uint8_t>> vec(
+      dag.nodes.size(), std::vector<uint8_t>(static_cast<size_t>(dag.n_in)));
+  std::vector<int> seen_output(static_cast<size_t>(dag.n_out), -1);
+  for (size_t idx = 0; idx < dag.nodes.size(); ++idx) {
+    const DagNode& node = dag.nodes[idx];
+    for (const int child : node.children) {
+      if (child < 0 || static_cast<size_t>(child) >= idx) {
+        return id(static_cast<int>(idx)) + " has non-topological child " +
+               std::to_string(child);
+      }
+    }
+    switch (node.op) {
+      case DagOp::kFetch: {
+        if (node.input < 0 || node.input >= dag.n_in) {
+          return id(static_cast<int>(idx)) + " fetches unknown input";
+        }
+        if (!node.children.empty()) {
+          return id(static_cast<int>(idx)) + " fetch has children";
+        }
+        if (node.where != dag.input_nodes[static_cast<size_t>(node.input)]) {
+          return id(static_cast<int>(idx)) +
+                 " fetches input " + std::to_string(node.input) +
+                 " away from its node";
+        }
+        vec[idx][static_cast<size_t>(node.input)] = 1;
+        break;
+      }
+      case DagOp::kMulAdd: {
+        if (node.children.size() != 1) {
+          return id(static_cast<int>(idx)) + " muladd needs exactly 1 child";
+        }
+        const auto& child = vec[static_cast<size_t>(node.children[0])];
+        for (size_t i = 0; i < child.size(); ++i) {
+          vec[idx][i] = gf::mul(node.coeff, child[i]);
+        }
+        break;
+      }
+      case DagOp::kAggregate: {
+        for (const int child : node.children) {
+          const auto& cv = vec[static_cast<size_t>(child)];
+          for (size_t i = 0; i < cv.size(); ++i) {
+            vec[idx][i] = gf::add(vec[idx][i], cv[i]);
+          }
+        }
+        break;
+      }
+      case DagOp::kOutput: {
+        if (node.output < 0 || node.output >= dag.n_out) {
+          return id(static_cast<int>(idx)) + " delivers unknown output";
+        }
+        if (node.children.size() != 1) {
+          return id(static_cast<int>(idx)) + " output needs exactly 1 child";
+        }
+        if (node.where !=
+            dag.output_nodes[static_cast<size_t>(node.output)]) {
+          return id(static_cast<int>(idx)) + " delivers output " +
+                 std::to_string(node.output) + " to the wrong node";
+        }
+        if (seen_output[static_cast<size_t>(node.output)] >= 0) {
+          return "output " + std::to_string(node.output) +
+                 " delivered twice";
+        }
+        seen_output[static_cast<size_t>(node.output)] =
+            static_cast<int>(idx);
+        const auto& cv = vec[static_cast<size_t>(node.children[0])];
+        for (int i = 0; i < dag.n_in; ++i) {
+          if (cv[static_cast<size_t>(i)] != coeffs.at(node.output, i)) {
+            return "output " + std::to_string(node.output) +
+                   " computes the wrong coefficient on input " +
+                   std::to_string(i);
+          }
+        }
+        break;
+      }
+    }
+  }
+  for (int j = 0; j < dag.n_out; ++j) {
+    if (seen_output[static_cast<size_t>(j)] < 0) {
+      return "output " + std::to_string(j) + " never delivered";
+    }
+  }
+  return "";
+}
+
+FlowPlan plan_flows(const EcDag& dag, const Topology& topo) {
+  FlowPlan plan;
+  std::map<RackId, std::vector<Hop>> gather;
+  std::set<std::pair<int, NodeId>> moved;  // (producer, consumer node)
+  std::vector<bool> fetch_moved(dag.nodes.size(), false);
+
+  for (size_t idx = 0; idx < dag.nodes.size(); ++idx) {
+    const DagNode& consumer = dag.nodes[idx];
+    for (const int child : consumer.children) {
+      const DagNode& producer = dag.nodes[static_cast<size_t>(child)];
+      if (producer.where == consumer.where) continue;
+      if (!moved.insert({child, consumer.where}).second) continue;
+      Hop hop;
+      hop.src = producer.where;
+      hop.dst = consumer.where;
+      hop.producer = child;
+      hop.cross = !topo.same_rack(hop.src, hop.dst);
+      (hop.cross ? plan.cross_hops : plan.intra_hops) += 1;
+      if (producer.op == DagOp::kFetch) {
+        fetch_moved[static_cast<size_t>(child)] = true;
+      }
+      if (consumer.op == DagOp::kOutput) {
+        plan.scatter.push_back(hop);
+      } else {
+        gather[topo.rack_of(hop.src)].push_back(hop);
+      }
+    }
+  }
+
+  // Per-rack gather chains.  Hops are in DAG-node order within a rack:
+  // fetch indices precede the rack's partial aggregates, so the raw gathers
+  // run before the partial forwards — the store-and-forward order a lane
+  // executes per chunk.
+  for (auto& [rack, hops] : gather) {
+    std::sort(hops.begin(), hops.end(), [](const Hop& a, const Hop& b) {
+      return a.producer < b.producer;
+    });
+    plan.streams.push_back(std::move(hops));
+  }
+
+  // Inputs consumed where they live: fetches that never crossed a wire.
+  for (size_t idx = 0; idx < dag.nodes.size(); ++idx) {
+    const DagNode& node = dag.nodes[idx];
+    if (node.op == DagOp::kFetch && !fetch_moved[idx]) {
+      plan.local_inputs.push_back(node.input);
+    }
+  }
+  return plan;
+}
+
+}  // namespace ear::ecdag

@@ -1,0 +1,126 @@
+// Distributed erasure-coding DAGs with rack-local partial-sum aggregation.
+//
+// The paper's encoder and repair worker both funnel k full blocks through a
+// single fan-in node, so the core-rack downlink caps cluster-wide conversion
+// and repair throughput no matter how good placement is.  Following OpenEC's
+// ECDAG and RapidRAID's pipelined archival codes, this subsystem represents
+// any linear coding operation — encode, repair, degraded-read reconstruction
+// — as a DAG of partial GF(2^8) sums executed *across* DataNodes:
+//
+//   * leaf nodes emit coeff × block terms where the blocks already live,
+//   * a rack-local aggregator XOR-combines its rack's terms so only one
+//     combined chunk per requested output crosses the core switch per rack,
+//   * the root finishes each output from the rack partials plus its own
+//     local terms.
+//
+// GF(2^8) addition is XOR — associative and commutative — so regrouping the
+// sum by rack is byte-identical to the single-node computation; the
+// validator below proves it symbolically for every built DAG.
+//
+// The IR is deliberately tiny: four node kinds, each producing one
+// symbol-sized value (a whole block, or a CRS packet when callers lower at
+// packet granularity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "erasure/matrix.h"
+#include "topology/topology.h"
+
+namespace ear::ecdag {
+
+enum class DagOp : uint8_t {
+  kFetch,      // reads input `input` on the node that stores it
+  kMulAdd,     // coeff × child (a Fetch), evaluated at `where`
+  kAggregate,  // XOR of its children, evaluated at `where`
+  kOutput,     // delivers its child's value as output `output` at `where`
+};
+
+struct DagNode {
+  DagOp op = DagOp::kFetch;
+  NodeId where = kInvalidNode;  // cluster node holding / computing the value
+  int input = -1;               // kFetch: index into EcDag::input_nodes
+  int output = -1;              // kOutput: index into EcDag::output_nodes
+  uint8_t coeff = 1;            // kMulAdd: GF(2^8) multiplier
+  std::vector<int> children;    // producer node indices (children precede)
+};
+
+struct EcDag {
+  int n_in = 0;
+  int n_out = 0;
+  NodeId root = kInvalidNode;
+  std::vector<NodeId> input_nodes;   // where input i lives
+  std::vector<NodeId> output_nodes;  // where output j must be delivered
+  std::vector<DagNode> nodes;        // topologically ordered
+  std::vector<int> outputs;          // indices of the kOutput nodes, in order
+};
+
+struct BuildOptions {
+  // Aggregate every rack with >= 2 contributors even when shipping partials
+  // would not beat shipping the raw blocks (aggregator-placement tests).
+  // Default: a rack aggregates iff it would ship strictly fewer partial
+  // chunks than raw blocks.
+  bool force_aggregate = false;
+};
+
+// Lowers `coeffs` (n_out x n_in: output j = sum_i coeffs(j,i) * input i)
+// into a rack-aware aggregation tree rooted at `root`:
+//
+//   * inputs in the root's own rack (or on the root itself) are consumed at
+//     the root directly — aggregating them saves no core-link bytes;
+//   * every other rack ships, per output with a nonzero local contribution,
+//     one partial sum computed at a deterministic aggregator (the
+//     lowest-numbered contributing node) — iff that beats shipping its raw
+//     blocks (see BuildOptions::force_aggregate);
+//   * outputs are delivered from the root to `output_nodes`.
+//
+// Inputs whose coefficient column is all-zero are never fetched or moved.
+EcDag build_aggregation_dag(const erasure::Matrix& coeffs,
+                            const std::vector<NodeId>& input_nodes,
+                            const std::vector<NodeId>& output_nodes,
+                            NodeId root, const Topology& topo,
+                            const BuildOptions& opts = {});
+
+// Symbolically evaluates the DAG (accumulating per-input GF coefficient
+// vectors bottom-up) and checks it computes exactly `coeffs`, plus the
+// structural invariants: topological child order, fetch locations matching
+// input_nodes, every output delivered exactly once at its destination.
+// Returns "" when valid, else a description of the first defect.
+std::string validate(const EcDag& dag, const erasure::Matrix& coeffs);
+
+// One value movement between cluster nodes, per symbol-sized chunk.
+struct Hop {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int producer = -1;  // DAG node whose value moves
+  bool cross = false;  // crosses the core switch
+};
+
+// The transport schedule of a DAG, grouped for pipelined execution:
+//
+//   * streams — one ordered hop chain per source rack with remote traffic:
+//     first the leaf->aggregator gathers (intra-rack), then the
+//     aggregator->root partial forwards (or the raw leaf->root hops when the
+//     rack does not aggregate).  Streams are independent of each other, so
+//     an executor runs one pipeline lane per stream and a simulator one
+//     chained flow per stream.
+//   * scatter — root->destination delivery of finished outputs.
+//   * local_inputs — inputs consumed on the node that stores them (no hop;
+//     chargeable as local disk reads).
+//
+// Hops are deduplicated: a value consumed by several DAG nodes on the same
+// cluster node crosses the wire once.
+struct FlowPlan {
+  std::vector<std::vector<Hop>> streams;
+  std::vector<Hop> scatter;
+  std::vector<int> local_inputs;
+  int cross_hops = 0;  // per-symbol totals, scatter included
+  int intra_hops = 0;
+};
+
+FlowPlan plan_flows(const EcDag& dag, const Topology& topo);
+
+}  // namespace ear::ecdag

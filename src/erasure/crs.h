@@ -44,6 +44,11 @@ class CRSCode {
   // Jerasure optimizes; useful for comparing constructions.
   int64_t schedule_xor_count() const { return xor_count_; }
 
+  // The XOR schedule itself: entry r lists the data packet indices (in
+  // [0, k*8)) XORed into parity packet r.  This is the packet-granularity
+  // {0,1} coefficient structure the distributed-encode DAG lowers from.
+  const std::vector<std::vector<int>>& schedule() const { return schedule_; }
+
   const RSCode& byte_code() const { return byte_code_; }
 
  private:

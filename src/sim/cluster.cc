@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "ecdag/dag.h"
+#include "erasure/matrix.h"
 #include "obs/trace.h"
 #include "placement/ear.h"
 #include "placement/monitor.h"
@@ -198,6 +200,8 @@ void ClusterSim::start_stripe(EncodeProcess& proc) {
   // a local copy, then a same-rack copy, then any replica.
   proc.pending_transfers = 0;
   const RackId encoder_rack = topo_.rack_of(plan.encoder);
+  std::vector<NodeId> sources;
+  sources.reserve(stripe.replicas.size());
   for (const auto& replicas : stripe.replicas) {
     NodeId src = kInvalidNode;
     for (const NodeId r : replicas) {
@@ -218,6 +222,15 @@ void ClusterSim::start_stripe(EncodeProcess& proc) {
         ++result_.encoding_cross_rack_downloads;
       }
     }
+    sources.push_back(src);
+  }
+
+  if (config_.ecdag_enable) {
+    start_stripe_ecdag(proc, sources);
+    return;
+  }
+
+  for (const NodeId src : sources) {
     ++proc.pending_transfers;
     auto on_done = [this, &proc] {
       if (--proc.pending_transfers == 0) finish_stripe(proc);
@@ -229,6 +242,69 @@ void ClusterSim::start_stripe(EncodeProcess& proc) {
       network_.start_transfer(src, plan.encoder, config_.block_size,
                               std::move(on_done));
     }
+  }
+  if (proc.pending_transfers == 0) {
+    engine_.schedule_in(0.0, [this, &proc] { finish_stripe(proc); });
+  }
+}
+
+// Distributed-encode gather: the same rack-aware partial-sum tree the
+// testbed executor runs (src/ecdag/), modelled at whole-block granularity.
+// The simulator moves no real bytes, so the coefficient structure is all it
+// needs: RS parity rows are dense (every coefficient nonzero), which an
+// all-ones m x k matrix reproduces — every rack with more data blocks than
+// parity outputs aggregates.  Each remote rack's gather runs as a two-level
+// flow: the leaf -> aggregator transfers in parallel, then the
+// aggregator -> encoder partials (one per parity) in parallel.  The real
+// executor pipelines these per chunk; the two-level barrier here is the
+// conservative store-and-forward approximation.
+void ClusterSim::start_stripe_ecdag(EncodeProcess& proc,
+                                    const std::vector<NodeId>& sources) {
+  const EncodePlan& plan = plans_[proc.stripe_index];
+  const int k = static_cast<int>(sources.size());
+  const int m = config_.placement.code.n - config_.placement.code.k;
+  erasure::Matrix dense(m, k);
+  for (int j = 0; j < m; ++j) {
+    for (int i = 0; i < k; ++i) dense.at(j, i) = 1;
+  }
+  const ecdag::EcDag dag = ecdag::build_aggregation_dag(
+      dense, sources, plan.parity, plan.encoder, topo_);
+  const ecdag::FlowPlan flows = ecdag::plan_flows(dag, topo_);
+
+  proc.pending_transfers = static_cast<int>(flows.streams.size()) +
+                           static_cast<int>(flows.local_inputs.size());
+  auto stream_done = [this, &proc] {
+    if (--proc.pending_transfers == 0) finish_stripe(proc);
+  };
+  for (const int input : flows.local_inputs) {
+    // Consumed where it lives: charged to the node's disk, like the legacy
+    // encoder-local read.
+    network_.start_disk_read(sources[static_cast<size_t>(input)],
+                             config_.block_size, stream_done);
+  }
+  for (const auto& stream : flows.streams) {
+    auto level1 = std::make_shared<std::vector<ecdag::Hop>>();
+    auto level2 = std::make_shared<std::vector<ecdag::Hop>>();
+    for (const ecdag::Hop& hop : stream) {
+      (hop.dst == plan.encoder ? level2 : level1)->push_back(hop);
+    }
+    auto run_level = [this](const std::vector<ecdag::Hop>& hops,
+                            std::function<void()> done) {
+      if (hops.empty()) {
+        done();
+        return;
+      }
+      auto remaining = std::make_shared<int>(static_cast<int>(hops.size()));
+      for (const ecdag::Hop& hop : hops) {
+        network_.start_transfer(hop.src, hop.dst, config_.block_size,
+                                [remaining, done] {
+                                  if (--*remaining == 0) done();
+                                });
+      }
+    };
+    run_level(*level1, [run_level, level2, stream_done] {
+      run_level(*level2, stream_done);
+    });
   }
   if (proc.pending_transfers == 0) {
     engine_.schedule_in(0.0, [this, &proc] { finish_stripe(proc); });

@@ -56,6 +56,13 @@ struct SimConfig {
   // Reed-Solomon encode time of the testbed; 0 models compute as free.
   Seconds encode_compute_seconds = 0.0;
 
+  // Distributed-encode DAGs (src/ecdag/): each remote rack XOR-combines its
+  // data blocks locally and ships one partial per parity block across the
+  // core switch instead of every raw block, mirroring
+  // CfsConfig::ecdag_enable on the testbed.  The gather of each rack runs
+  // as a two-level flow (leaf -> aggregator, then aggregator -> encoder).
+  bool ecdag_enable = false;
+
   uint64_t seed = 1;
 };
 
@@ -108,6 +115,8 @@ class ClusterSim {
   void generate_background();
   void schedule_next_background();
   void start_stripe(EncodeProcess& proc);
+  void start_stripe_ecdag(EncodeProcess& proc,
+                          const std::vector<NodeId>& sources);
   void finish_stripe(EncodeProcess& proc);
   void on_all_encoding_done();
 

@@ -129,11 +129,11 @@ TEST(Checkpoint, RejectsGarbage) {
                std::runtime_error);
 }
 
-// Down-converts a freshly saved (v4) image to an older format version by
+// Down-converts a freshly saved (v5) image to an older format version by
 // deleting the fields that version lacks and patching the magic digit.
 // Layout: 8-byte magic, 13 fixed i64 config fields, the v3 read-path pair
-// (cache_bytes, read_fanout_lanes), then the v4 store triple (backend,
-// length-prefixed dir, segment bytes).
+// (cache_bytes, read_fanout_lanes), the v4 store triple (backend,
+// length-prefixed dir, segment bytes), then the v5 ecdag_enable i64.
 std::vector<uint8_t> downconvert(std::vector<uint8_t> image, int version) {
   constexpr size_t kV3Offset = 8 + 13 * 8;
   constexpr size_t kV4Offset = kV3Offset + 2 * 8;
@@ -143,8 +143,14 @@ std::vector<uint8_t> downconvert(std::vector<uint8_t> image, int version) {
                                            static_cast<size_t>(i)])
                << (8 * i);
   }
-  const auto v4_begin = image.begin() + static_cast<ptrdiff_t>(kV4Offset);
-  image.erase(v4_begin, v4_begin + static_cast<ptrdiff_t>(3 * 8 + dir_len));
+  const size_t kV5Offset = kV4Offset + 3 * 8 + static_cast<size_t>(dir_len);
+  const auto v5_begin = image.begin() + static_cast<ptrdiff_t>(kV5Offset);
+  image.erase(v5_begin, v5_begin + 8);
+  if (version <= 3) {
+    const auto v4_begin = image.begin() + static_cast<ptrdiff_t>(kV4Offset);
+    image.erase(v4_begin,
+                v4_begin + static_cast<ptrdiff_t>(3 * 8 + dir_len));
+  }
   if (version == 2) {
     const auto v3_begin = image.begin() + static_cast<ptrdiff_t>(kV3Offset);
     image.erase(v3_begin, v3_begin + 2 * 8);
@@ -194,17 +200,46 @@ TEST(Checkpoint, RejectsVersionsOutsideSupportedRange) {
 
   // A too-old and a too-new digit must both fail loudly, naming the range,
   // even though the rest of the stream is intact.
-  for (const char digit : {'1', '5'}) {
+  for (const char digit : {'1', '6'}) {
     auto bad = image;
     bad[7] = static_cast<uint8_t>(digit);
     try {
       load_checkpoint(bad, instant(cfg));
       FAIL() << "version '" << digit << "' must be rejected";
     } catch (const std::runtime_error& e) {
-      EXPECT_NE(std::string(e.what()).find("supported: 2..4"),
+      EXPECT_NE(std::string(e.what()).find("supported: 2..5"),
                 std::string::npos)
           << e.what();
     }
+  }
+}
+
+TEST(Checkpoint, LoadsVersion4WithEcdagDefault) {
+  const auto cfg = ck_config();
+  auto original = make_cfs(cfg);
+  Rng rng(9);
+  const auto contents = populate(*original, rng);
+
+  const auto v4 = downconvert(save_checkpoint(*original), 4);
+  auto restored = load_checkpoint(v4, instant(cfg));
+  EXPECT_FALSE(restored->config().ecdag_enable)
+      << "pre-ecdag checkpoints must restore to the legacy data path";
+  for (const auto& [id, data] : contents) {
+    EXPECT_EQ(restored->read_block(id, 0), data);
+  }
+}
+
+TEST(Checkpoint, RoundTripPreservesEcdagFlag) {
+  auto cfg = ck_config();
+  cfg.ecdag_enable = true;
+  auto original = make_cfs(cfg);
+  Rng rng(10);
+  const auto contents = populate(*original, rng);
+
+  auto restored = load_checkpoint(save_checkpoint(*original), instant(cfg));
+  EXPECT_TRUE(restored->config().ecdag_enable);
+  for (const auto& [id, data] : contents) {
+    EXPECT_EQ(restored->read_block(id, 0), data);
   }
 }
 
