@@ -10,14 +10,18 @@ int main(int argc, char** argv) {
   const FlagParser flags(argc, argv);
   const int runs = static_cast<int>(flags.get_int("runs", 5));
 
+  bench::RatioCsv csv(flags);
+
   bench::header("Figure 13(a)", "EAR/RR normalized throughput vs k (n-k=4)");
   bench::print_ratio_header();
   for (const int k : {6, 8, 10, 12}) {
     auto cfg = bench::default_b2_config(flags);
     cfg.placement.code = CodeParams{k + 4, k};
-    bench::print_ratio_row("k=" + std::to_string(k),
-                           bench::run_pairs(cfg, runs));
+    const std::string label = "k=" + std::to_string(k);
+    const auto samples = bench::run_pairs(cfg, runs);
+    bench::print_ratio_row(label, samples);
+    csv.add("vary_k", label, samples);
   }
   bench::note("paper: encode gain grows with k, ~70% at k=10, 78.7% at k=12");
-  return 0;
+  return csv.close();
 }

@@ -10,15 +10,19 @@ int main(int argc, char** argv) {
   const FlagParser flags(argc, argv);
   const int runs = static_cast<int>(flags.get_int("runs", 5));
 
+  bench::RatioCsv csv(flags);
+
   bench::header("Figure 13(b)",
                 "EAR/RR normalized throughput vs n-k (k=10)");
   bench::print_ratio_header();
   for (const int m : {2, 3, 4, 5, 6}) {
     auto cfg = bench::default_b2_config(flags);
     cfg.placement.code = CodeParams{10 + m, 10};
-    bench::print_ratio_row("n-k=" + std::to_string(m),
-                           bench::run_pairs(cfg, runs));
+    const std::string label = "n-k=" + std::to_string(m);
+    const auto samples = bench::run_pairs(cfg, runs);
+    bench::print_ratio_row(label, samples);
+    csv.add("vary_m", label, samples);
   }
   bench::note("paper: encode gain stable ~70%; write gain drops 33.9%->14.1%");
-  return 0;
+  return csv.close();
 }

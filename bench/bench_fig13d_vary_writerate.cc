@@ -10,6 +10,8 @@ int main(int argc, char** argv) {
   const FlagParser flags(argc, argv);
   const int runs = static_cast<int>(flags.get_int("runs", 5));
 
+  bench::RatioCsv csv(flags);
+
   bench::header("Figure 13(d)",
                 "EAR/RR normalized throughput vs write request rate");
   bench::print_ratio_header();
@@ -18,8 +20,10 @@ int main(int argc, char** argv) {
     cfg.write_rate = rate;
     char label[32];
     std::snprintf(label, sizeof(label), "%.0f req/s", rate);
-    bench::print_ratio_row(label, bench::run_pairs(cfg, runs));
+    const auto samples = bench::run_pairs(cfg, runs);
+    bench::print_ratio_row(label, samples);
+    csv.add("vary_writerate", label, samples);
   }
   bench::note("paper: encode gain rises to 89.1% at 4 req/s");
-  return 0;
+  return csv.close();
 }

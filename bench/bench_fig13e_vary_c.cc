@@ -14,6 +14,8 @@ int main(int argc, char** argv) {
   const FlagParser flags(argc, argv);
   const int runs = static_cast<int>(flags.get_int("runs", 5));
 
+  bench::RatioCsv csv(flags);
+
   bench::header("Figure 13(e)",
                 "EAR/RR normalized throughput vs EAR rack fault tolerance");
   bench::print_ratio_header();
@@ -26,14 +28,15 @@ int main(int argc, char** argv) {
     cfg.placement.c = p.c;
     cfg.placement.target_racks =
         (cfg.placement.code.n + p.c - 1) / p.c;  // ceil(n / c)
-    bench::print_ratio_row(
-        std::to_string(p.failures) + " failures (c=" + std::to_string(p.c) +
-            ")",
-        bench::run_pairs(cfg, runs));
+    const std::string label = std::to_string(p.failures) + " failures (c=" +
+                              std::to_string(p.c) + ")";
+    const auto samples = bench::run_pairs(cfg, runs);
+    bench::print_ratio_row(label, samples);
+    csv.add("vary_c", label, samples);
   }
   bench::note("paper: gains rise as tolerated failures drop: encode "
               "70.1%->82.1%, write 26.3%->48.3%");
   bench::note("recovery trade-off (analysis): cross-rack blocks per repair = "
               "k - c");
-  return 0;
+  return csv.close();
 }

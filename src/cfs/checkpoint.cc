@@ -15,9 +15,10 @@ namespace {
 //   '3' — + read-path fields cache_bytes, read_fanout_lanes (PR 5)
 //   '4' — + store fields store_backend, store_dir, store_segment_bytes
 //   '5' — + ecdag_enable (PR 7)
-constexpr char kMagic[8] = {'E', 'A', 'R', 'C', 'K', 'P', 'T', '5'};
+//   '6' — + codec fields codec_family, sub-packetization alpha (PR 8)
+constexpr char kMagic[8] = {'E', 'A', 'R', 'C', 'K', 'P', 'T', '6'};
 constexpr int kOldestSupported = 2;
-constexpr int kNewestSupported = 5;
+constexpr int kNewestSupported = 6;
 
 // ---- little-endian primitives ------------------------------------------
 
@@ -133,6 +134,17 @@ std::vector<uint8_t> save_checkpoint(const MiniCfs& cfs) {
   }
   put_i64(out, image.config.store_segment_bytes);
   put_i64(out, image.config.ecdag_enable ? 1 : 0);
+  // v6: codec family plus its sub-packetization.  alpha is derivable from
+  // (family, n, k) but serialized anyway so a reader can reject a
+  // checkpoint whose block layout it would mis-slice (a forward-compat
+  // guard if a family's alpha derivation ever changes).
+  put_i64(out, static_cast<int64_t>(image.config.codec_family));
+  {
+    const auto codec = erasure::make_codec(
+        image.config.codec_family, image.config.placement.code.n,
+        image.config.placement.code.k, image.config.construction);
+    put_i64(out, codec->alpha());
+  }
   put_i64(out, image.next_block_id);
 
   // Block locations.
@@ -212,6 +224,25 @@ std::unique_ptr<MiniCfs> load_checkpoint(
   if (version >= 5) {
     image.config.ecdag_enable = in.i64() != 0;
   }  // v2..v4: keep the CfsConfig default (legacy single-node data path)
+  if (version >= 6) {
+    const int64_t family = in.i64();
+    if (family < 0 || family > 4) {
+      throw std::runtime_error("checkpoint has unknown codec family " +
+                               std::to_string(family));
+    }
+    image.config.codec_family = static_cast<erasure::CodecFamily>(family);
+    const int64_t alpha = in.i64();
+    const auto codec = erasure::make_codec(
+        image.config.codec_family, image.config.placement.code.n,
+        image.config.placement.code.k, image.config.construction);
+    if (alpha != codec->alpha()) {
+      throw std::runtime_error(
+          "checkpoint sub-packetization mismatch: file says alpha=" +
+          std::to_string(alpha) + " but " + codec->name() + "(" +
+          std::to_string(codec->n()) + "," + std::to_string(codec->k()) +
+          ") derives alpha=" + std::to_string(codec->alpha()));
+    }
+  }  // v2..v5: keep the CfsConfig default (scalar Reed-Solomon)
   image.next_block_id = in.i64();
 
   const uint64_t location_count = in.u64();

@@ -18,9 +18,9 @@ StripeId MiniCfs::write_encoded_stripe(
     const std::vector<std::span<const uint8_t>>& data,
     std::optional<NodeId> writer) {
   obs::Span span("cfs.write_encoded_stripe", "cfs");
-  const int k = code_.k();
-  const int n = code_.n();
-  const int m = code_.m();
+  const int k = codec_->k();
+  const int n = codec_->n();
+  const int m = codec_->m();
   if (static_cast<int>(data.size()) != k) {
     throw std::invalid_argument("write_encoded_stripe: need exactly k blocks");
   }
@@ -47,7 +47,7 @@ StripeId MiniCfs::write_encoded_stripe(
       parity.emplace_back(static_cast<size_t>(config_.block_size));
       pv.emplace_back(parity.back().span());
     }
-    code_.encode(dv, pv);
+    codec_->encode(dv, pv);
   }
 
   // Placement: n random distinct racks, one random node each.

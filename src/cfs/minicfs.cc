@@ -28,8 +28,9 @@ MiniCfs::MiniCfs(const CfsConfig& config, std::unique_ptr<Transport> transport)
       cache_(config.cache_bytes > 0
                  ? std::make_unique<datapath::BlockCache>(config.cache_bytes)
                  : nullptr),
-      code_(config.placement.code.n, config.placement.code.k,
-            config.construction),
+      codec_(erasure::make_codec(config.codec_family, config.placement.code.n,
+                                 config.placement.code.k,
+                                 config.construction)),
       ns_(config.namespace_shards),
       node_alive_(static_cast<size_t>(topo_.node_count())),
       rng_(config.seed ^ 0xdeadbeefULL),
@@ -45,6 +46,12 @@ MiniCfs::MiniCfs(const CfsConfig& config, std::unique_ptr<Transport> transport)
       hist_encode_s_(&obs::Registry::instance().histogram(
           "cfs.encode_stripe_seconds",
           {0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10, 30, 60})) {
+  if (config_.block_size % static_cast<Bytes>(codec_->alpha()) != 0) {
+    throw std::invalid_argument(
+        std::string("block_size must be divisible by the codec's "
+                    "sub-packetization: ") +
+        codec_->name() + " needs alpha=" + std::to_string(codec_->alpha()));
+  }
   revive_all();
   datanodes_.reserve(static_cast<size_t>(topo_.node_count()));
   for (int i = 0; i < topo_.node_count(); ++i) {
@@ -102,6 +109,20 @@ datapath::BlockBuffer MiniCfs::fetch(NodeId node, BlockId block) const {
         std::to_string(dn.block_count()) + " blocks)");
   }
   return *std::move(bytes);  // shared reference, no byte copy
+}
+
+datapath::BlockBuffer MiniCfs::fetch_range(NodeId node, BlockId block,
+                                           size_t offset, size_t len) const {
+  const store::BlockStore& dn = *datanodes_[static_cast<size_t>(node)];
+  auto bytes = dn.get_range(block, offset, len);
+  if (!bytes) {
+    throw std::runtime_error(
+        "fetch_range: block " + std::to_string(block) + " [" +
+        std::to_string(offset) + ", +" + std::to_string(len) +
+        ") not on node " + std::to_string(node) + " (" + dn.name() +
+        " store holding " + std::to_string(dn.block_count()) + " blocks)");
+  }
+  return *std::move(bytes);  // aliases the stored allocation, no byte copy
 }
 
 void MiniCfs::erase(NodeId node, BlockId block) {
@@ -255,86 +276,146 @@ datapath::BlockBuffer MiniCfs::degraded_read(BlockId block, NodeId reader) {
   stripe_blocks.insert(stripe_blocks.end(), meta->parity_blocks.begin(),
                        meta->parity_blocks.end());
 
-  // Resolve k live sources and take zero-copy references to their stored
-  // bytes up front; the staged pipeline below overlaps the chunked
-  // transfers with the incremental decode.
-  std::vector<int> available_ids;
-  std::vector<NodeId> sources;
-  std::vector<datapath::BlockBuffer> available_bufs;
-  for (int pos = 0;
-       pos < static_cast<int>(stripe_blocks.size()) &&
-       static_cast<int>(available_ids.size()) < code_.k();
-       ++pos) {
+  // Live positions first, sources later: the codec's plan decides which
+  // positions actually serve the read (scalar codes pick the first k,
+  // LRC a local group, Clay every helper), and pick_source draws from the
+  // shared RNG, so it must only run for positions the plan names — in plan
+  // order — to keep the scalar path's draw sequence identical to the
+  // pre-codec one.
+  std::vector<int> live_ids;
+  std::vector<BlockId> live_blocks;  // parallel to live_ids
+  for (int pos = 0; pos < static_cast<int>(stripe_blocks.size()); ++pos) {
+    if (pos == wanted_pos) continue;
     const BlockId b = stripe_blocks[static_cast<size_t>(pos)];
     const auto locs = ns_.find_locations(b);
     if (!locs) continue;
-    const NodeId s = pick_source(*locs, reader, /*count=*/false);
-    if (s == kInvalidNode) continue;
-    available_ids.push_back(pos);
-    sources.push_back(s);
-    available_bufs.push_back(fetch(s, b));
+    const bool live = std::any_of(locs->begin(), locs->end(), [this](NodeId n) {
+      return node_alive_[static_cast<size_t>(n)].load();
+    });
+    if (!live) continue;
+    live_ids.push_back(pos);
+    live_blocks.push_back(b);
   }
-  if (static_cast<int>(available_ids.size()) < code_.k()) {
+  if (static_cast<int>(live_ids.size()) < codec_->k()) {
     throw std::runtime_error("stripe unrecoverable: fewer than k live blocks");
   }
-  ctr_degraded_read_bytes_->add(
-      static_cast<int64_t>(available_ids.size()) * config_.block_size);
 
-  erasure::Matrix coeffs;
-  if (!code_.plan_reconstruct(available_ids, {wanted_pos}, &coeffs)) {
-    throw std::runtime_error("decode failed (singular matrix?)");
-  }
-  std::vector<erasure::BlockView> views;
-  views.reserve(available_bufs.size());
-  for (const auto& b : available_bufs) views.emplace_back(b.span());
+  const Bytes sub = codec_->sub_block_size(config_.block_size);
   datapath::MutableBlockBuffer out(static_cast<size_t>(config_.block_size));
-  std::vector<erasure::MutBlockView> out_views{out.span()};
 
-  if (config_.ecdag_enable) {
-    // Distributed reconstruction (src/ecdag/): the 1 x k decode row lowered
-    // into a rack-aware partial-sum tree rooted at the reader.  A rack
-    // holding several sources XOR-combines its coeff x block terms locally
-    // and ships one chunk instead of one per block — the repair-pipelining
-    // win, byte-identical to the single-node decode.
-    const ecdag::EcDag dag = ecdag::build_aggregation_dag(
-        coeffs, sources, /*output_nodes=*/{reader}, reader, topo_);
-    ecdag::ExecOptions opts;
-    opts.unit_size = config_.block_size;
-    opts.preferred_chunk = transport_->preferred_chunk();
-    ecdag::execute(
-        dag, topo_, views, out_views,
-        [this](NodeId src, NodeId dst, Bytes len) {
-          transport_->transfer(src, dst, len);
+  erasure::RepairPlan plan;
+  if (codec_->plan_repair(wanted_pos, live_ids, &plan)) {
+    // Plan-driven repair: fetch only the sub-block ranges the plan names
+    // (whole blocks at alpha == 1) and run the coefficient schedule.  The
+    // transport is charged exactly the plan's bytes — the vector-codec
+    // repair saving is physical, not an accounting fiction.
+    std::vector<NodeId> sources;          // per plan source
+    std::vector<datapath::BlockBuffer> unit_bufs;
+    std::vector<erasure::BlockView> units;       // plan unit order
+    std::vector<NodeId> unit_nodes;              // source node per unit
+    for (const erasure::RepairSource& src : plan.sources) {
+      const auto it = std::find(live_ids.begin(), live_ids.end(), src.id);
+      const BlockId b =
+          live_blocks[static_cast<size_t>(it - live_ids.begin())];
+      const auto locs = ns_.find_locations(b);
+      const NodeId s = pick_source(*locs, reader, /*count=*/false);
+      sources.push_back(s);
+      for (const int z : src.sub_blocks) {
+        unit_bufs.push_back(fetch_range(
+            s, b, static_cast<size_t>(z) * static_cast<size_t>(sub),
+            static_cast<size_t>(sub)));
+        units.emplace_back(unit_bufs.back().span());
+        unit_nodes.push_back(s);
+      }
+    }
+    ctr_degraded_read_bytes_->add(
+        static_cast<int64_t>(plan.bytes_read(config_.block_size)));
+
+    std::vector<erasure::MutBlockView> out_subs;
+    for (int z = 0; z < plan.alpha; ++z) {
+      out_subs.emplace_back(out.window(
+          static_cast<size_t>(z) * static_cast<size_t>(sub),
+          static_cast<size_t>(sub)));
+    }
+
+    if (config_.ecdag_enable) {
+      // Distributed reconstruction (src/ecdag/): the plan's alpha x units
+      // coefficient schedule lowered into a rack-aware partial-sum tree
+      // rooted at the reader, one DAG output per rebuilt sub-block.  A rack
+      // holding several units XOR-combines its coeff x unit terms locally
+      // and ships one chunk per output instead of one per unit — byte-
+      // identical to the single-node schedule (and to the pre-codec 1 x k
+      // decode DAG at alpha == 1).
+      const std::vector<NodeId> out_nodes(static_cast<size_t>(plan.alpha),
+                                          reader);
+      const ecdag::EcDag dag = ecdag::build_aggregation_dag(
+          plan.coeffs, unit_nodes, out_nodes, reader, topo_);
+      ecdag::ExecOptions opts;
+      opts.unit_size = sub;
+      opts.preferred_chunk = transport_->preferred_chunk();
+      ecdag::execute(
+          dag, topo_, units, out_subs,
+          [this](NodeId src, NodeId dst, Bytes len) {
+            transport_->transfer(src, dst, len);
+          },
+          nullptr, opts);
+      return std::move(out).seal();
+    }
+
+    // Fan-out: one fetch lane per source node (or read_fanout_lanes of
+    // them, round-robin), chunked over the sub-block window so the
+    // incremental schedule overlaps the transfers; each source ships
+    // len x (its fetched sub-blocks) per chunk.  lanes == 1 serializes all
+    // sources on one lane — the old single-lane loop, and at alpha == 1
+    // the whole stage is byte- and bytes-identical to the pre-codec path.
+    const int nsources = static_cast<int>(plan.sources.size());
+    const int lanes = config_.read_fanout_lanes <= 0
+                          ? nsources
+                          : std::min(config_.read_fanout_lanes, nsources);
+    const datapath::ChunkPlan chunks{sub, transport_->preferred_chunk()};
+    datapath::StagedPipeline::run_fanout(
+        chunks.count(), lanes,
+        /*fetch=*/
+        [&](int lane, int c) {
+          const Bytes len = static_cast<Bytes>(chunks.len(c));
+          for (int s = lane; s < nsources; s += lanes) {
+            const auto& src = plan.sources[static_cast<size_t>(s)];
+            transport_->transfer(
+                sources[static_cast<size_t>(s)], reader,
+                len * static_cast<Bytes>(src.sub_blocks.size()));
+          }
         },
-        nullptr, opts);
+        /*compute=*/
+        [&](int c) {
+          erasure::ErasureCodec::apply_plan_chunk(plan, units, out.span(),
+                                                  chunks.offset(c),
+                                                  chunks.len(c));
+        });
     return std::move(out).seal();
   }
 
-  // Fan-out: one fetch lane per source node (or read_fanout_lanes of them,
-  // each covering sources lane, lane+lanes, ... in round-robin order), so a
-  // congested cross-rack source no longer head-of-line-blocks the intra-rack
-  // ones.  lanes == 1 serializes all sources on one lane — exactly the
-  // pre-fan-out round-robin loop.
-  const int nsources = static_cast<int>(sources.size());
-  const int lanes = config_.read_fanout_lanes <= 0
-                        ? nsources
-                        : std::min(config_.read_fanout_lanes, nsources);
-  const datapath::ChunkPlan chunks{config_.block_size,
-                                   transport_->preferred_chunk()};
-  datapath::StagedPipeline::run_fanout(
-      chunks.count(), lanes,
-      /*fetch=*/
-      [&](int lane, int c) {
-        const Bytes len = static_cast<Bytes>(chunks.len(c));
-        for (int s = lane; s < nsources; s += lanes) {
-          transport_->transfer(sources[static_cast<size_t>(s)], reader, len);
-        }
-      },
-      /*compute=*/
-      [&](int c) {
-        erasure::RSCode::decode_chunk(coeffs, views, out_views,
-                                      chunks.offset(c), chunks.len(c));
-      });
+  // No schedule-driven plan for this pattern (e.g. an LRC group helper is
+  // down): whole-block fallback — ship the first k live blocks to the
+  // reader and reconstruct.
+  std::vector<int> chosen_ids(live_ids.begin(),
+                              live_ids.begin() + codec_->k());
+  std::vector<datapath::BlockBuffer> bufs;
+  std::vector<erasure::BlockView> views;
+  for (size_t i = 0; i < chosen_ids.size(); ++i) {
+    const BlockId b = live_blocks[i];
+    const auto locs = ns_.find_locations(b);
+    const NodeId s = pick_source(*locs, reader, /*count=*/false);
+    transport_->transfer(s, reader, config_.block_size);
+    bufs.push_back(fetch(s, b));
+    views.emplace_back(bufs.back().span());
+  }
+  ctr_degraded_read_bytes_->add(static_cast<int64_t>(chosen_ids.size()) *
+                                config_.block_size);
+  std::string why;
+  if (!codec_->reconstruct(chosen_ids, views, {wanted_pos}, {out.span()},
+                           &why)) {
+    throw std::runtime_error("degraded read decode failed: " + why);
+  }
   return std::move(out).seal();
 }
 
@@ -369,8 +450,10 @@ void MiniCfs::encode_stripe(StripeId stripe,
   }
   if (encoder_override) plan.encoder = *encoder_override;
 
-  const int k = code_.k();
-  const int m = code_.m();
+  const int k = codec_->k();
+  const int m = codec_->m();
+  const int alpha = codec_->alpha();
+  const Bytes sub = codec_->sub_block_size(config_.block_size);
 
   // Resolve one live source per data block and take zero-copy references
   // to the stored bytes before moving anything, so a dead stripe fails
@@ -400,23 +483,43 @@ void MiniCfs::encode_stripe(StripeId stripe,
     parity_views.emplace_back(parity_bufs.back().span());
   }
 
-  if (config_.ecdag_enable) {
-    // Distributed encode (src/ecdag/): the generator's parity rows lowered
-    // into a rack-aware partial-sum tree rooted at the encoder.  Each remote
-    // rack with more blocks than parity outputs XOR-combines its terms
-    // locally and ships one chunk per parity across the core switch; the
-    // result is byte-identical (GF(2^8) addition is XOR, associative).
-    std::vector<int> parity_rows(static_cast<size_t>(m));
-    for (int j = 0; j < m; ++j) parity_rows[static_cast<size_t>(j)] = k + j;
-    const erasure::Matrix coeffs = code_.generator().select_rows(parity_rows);
+  erasure::Matrix sched;
+  if (config_.ecdag_enable && codec_->encode_schedule(&sched)) {
+    // Distributed encode (src/ecdag/): the codec's (m*alpha) x (k*alpha)
+    // sub-block generator lowered into a rack-aware partial-sum tree rooted
+    // at the encoder.  Each remote rack with more terms than outputs
+    // XOR-combines its coeff x unit products locally and ships one chunk
+    // per output across the core switch; the result is byte-identical
+    // (GF(2^8) addition is XOR, associative).  At alpha == 1 the schedule
+    // is exactly the generator's parity rows — the pre-codec DAG.
+    std::vector<erasure::BlockView> data_units;
+    std::vector<NodeId> unit_nodes;
+    for (int i = 0; i < k; ++i) {
+      for (int z = 0; z < alpha; ++z) {
+        data_units.push_back(data_views[static_cast<size_t>(i)].subspan(
+            static_cast<size_t>(z) * static_cast<size_t>(sub),
+            static_cast<size_t>(sub)));
+        unit_nodes.push_back(sources[static_cast<size_t>(i)]);
+      }
+    }
+    std::vector<erasure::MutBlockView> parity_units;
+    std::vector<NodeId> out_nodes;
+    for (int j = 0; j < m; ++j) {
+      for (int z = 0; z < alpha; ++z) {
+        parity_units.push_back(parity_views[static_cast<size_t>(j)].subspan(
+            static_cast<size_t>(z) * static_cast<size_t>(sub),
+            static_cast<size_t>(sub)));
+        out_nodes.push_back(plan.parity[static_cast<size_t>(j)]);
+      }
+    }
     const ecdag::EcDag dag = ecdag::build_aggregation_dag(
-        coeffs, sources, plan.parity, plan.encoder, topo_);
+        sched, unit_nodes, out_nodes, plan.encoder, topo_);
     ecdag::ExecOptions opts;
-    opts.unit_size = config_.block_size;
+    opts.unit_size = sub;
     opts.preferred_chunk = transport_->preferred_chunk();
     opts.charge_local_reads = true;
     ecdag::execute(
-        dag, topo_, data_views, parity_views,
+        dag, topo_, data_units, parity_units,
         [this](NodeId src, NodeId dst, Bytes len) {
           transport_->transfer(src, dst, len);
         },
@@ -427,14 +530,17 @@ void MiniCfs::encode_stripe(StripeId stripe,
     // encode it into the parity windows, and push the finished parity chunks
     // out — all three stages overlap across chunks, so the upload rides the
     // encoder's up-link while later fetches still occupy its down-link
-    // (RapidRAID-style encode ≈ k block-times instead of k + m).
-    const datapath::ChunkPlan chunks{config_.block_size,
-                                     transport_->preferred_chunk()};
+    // (RapidRAID-style encode ≈ k block-times instead of k + m).  The chunk
+    // window is sub-block relative: chunk c covers bytes [offset, offset+len)
+    // of every sub-block, so each block ships len * alpha bytes per chunk
+    // (at alpha == 1 this is the pre-codec whole-block chunking, exactly).
+    const datapath::ChunkPlan chunks{sub, transport_->preferred_chunk()};
     datapath::StagedPipeline::run(
         chunks.count(),
         /*fetch=*/
         [&](int c) {
-          const Bytes len = static_cast<Bytes>(chunks.len(c));
+          const Bytes len =
+              static_cast<Bytes>(chunks.len(c)) * static_cast<Bytes>(alpha);
           for (int i = 0; i < k; ++i) {
             const NodeId src = sources[static_cast<size_t>(i)];
             if (src != plan.encoder) {
@@ -446,12 +552,13 @@ void MiniCfs::encode_stripe(StripeId stripe,
         },
         /*compute=*/
         [&](int c) {
-          code_.encode_chunk(data_views, parity_views, chunks.offset(c),
-                             chunks.len(c));
+          codec_->encode_chunk(data_views, parity_views, chunks.offset(c),
+                               chunks.len(c));
         },
         /*upload=*/
         [&](int c) {
-          const Bytes len = static_cast<Bytes>(chunks.len(c));
+          const Bytes len =
+              static_cast<Bytes>(chunks.len(c)) * static_cast<Bytes>(alpha);
           for (int j = 0; j < m; ++j) {
             const NodeId dst = plan.parity[static_cast<size_t>(j)];
             if (dst != plan.encoder) {
@@ -612,6 +719,35 @@ void MiniCfs::repair_block(BlockId block, NodeId target) {
       locs.push_back(target);
     }
   });
+}
+
+Bytes MiniCfs::planned_repair_bytes(BlockId block) const {
+  const auto stripe_pos = ns_.find_block_stripe(block);
+  if (!stripe_pos || !ns_.stripe_encoded(stripe_pos->first)) {
+    return config_.block_size;  // replicated: one copy moves
+  }
+  const auto meta = ns_.find_stripe(stripe_pos->first);
+  if (!meta) return config_.block_size;
+  std::vector<BlockId> stripe_blocks = meta->data_blocks;
+  stripe_blocks.insert(stripe_blocks.end(), meta->parity_blocks.begin(),
+                       meta->parity_blocks.end());
+  std::vector<int> live_ids;
+  for (int pos = 0; pos < static_cast<int>(stripe_blocks.size()); ++pos) {
+    if (pos == stripe_pos->second) continue;
+    const auto locs = ns_.find_locations(stripe_blocks[static_cast<size_t>(pos)]);
+    if (!locs) continue;
+    if (std::any_of(locs->begin(), locs->end(), [this](NodeId n) {
+          return node_alive_[static_cast<size_t>(n)].load();
+        })) {
+      live_ids.push_back(pos);
+    }
+  }
+  erasure::RepairPlan plan;
+  if (codec_->plan_repair(stripe_pos->second, live_ids, &plan)) {
+    return plan.bytes_read(config_.block_size);
+  }
+  // Whole-stripe decode fallback: k full blocks.
+  return config_.block_size * static_cast<Bytes>(codec_->k());
 }
 
 // ----------------------------------------------------------- introspection

@@ -32,7 +32,7 @@
 #include "common/rng.h"
 #include "datapath/block_buffer.h"
 #include "datapath/block_cache.h"
-#include "erasure/rs.h"
+#include "erasure/codec.h"
 #include "obs/metrics.h"
 #include "placement/policy.h"
 #include "placement/types.h"
@@ -47,6 +47,13 @@ struct CfsConfig {
   bool use_ear = true;
   Bytes block_size = 1_MB;
   erasure::Construction construction = erasure::Construction::kCauchy;
+  // Erasure-codec family for encoded stripes (erasure/codec.h).  kRS
+  // (default) reproduces the scalar Reed-Solomon path byte for byte; kLRC
+  // adds local-group repair; kClay / kHitchhiker are sub-packetized vector
+  // codes whose single-block repairs fetch sub-block ranges of the helpers
+  // instead of k full blocks.  block_size must be divisible by the
+  // family's sub-packetization alpha (serialized since EARCKPT6).
+  erasure::CodecFamily codec_family = erasure::CodecFamily::kRS;
   uint64_t seed = 1;
   // NameNode lock striping (cfs/namespace.h).  1 reproduces the old
   // single-mutex NameNode (the bench_ext_namenode baseline).
@@ -248,6 +255,14 @@ class MiniCfs {
 
   // ---- introspection -------------------------------------------------------
   std::vector<NodeId> block_locations(BlockId block) const;
+  // The stripe codec (config.codec_family over placement.code's (n, k)).
+  const erasure::ErasureCodec& codec() const { return *codec_; }
+  // Network bytes a repair of `block` would move under the codec's current
+  // cheapest plan: the RepairPlan's sub-block bytes when one exists for the
+  // live helper set, otherwise k full blocks (whole-stripe decode), or one
+  // block for replicated copies.  The RepairManager charges this instead of
+  // the old hardcoded k-blocks model.
+  Bytes planned_repair_bytes(BlockId block) const;
   // Reader-side cache instance; null when CfsConfig::cache_bytes == 0.
   const datapath::BlockCache* block_cache() const { return cache_.get(); }
   std::vector<BlockId> all_blocks() const;
@@ -274,6 +289,12 @@ class MiniCfs {
   // block, and backend when the block is absent.
   void store(NodeId node, BlockId block, datapath::BlockBuffer bytes);
   datapath::BlockBuffer fetch(NodeId node, BlockId block) const;
+  // Ranged fetch: zero-copy view of bytes [offset, offset + len) of the
+  // stored block (the vector-codec repair path reads helper sub-ranges
+  // through this; both store backends serve it without touching the rest
+  // of the block).
+  datapath::BlockBuffer fetch_range(NodeId node, BlockId block, size_t offset,
+                                    size_t len) const;
   void erase(NodeId node, BlockId block);
 
   // Registers a data-moving operation for set_transport's in-flight check.
@@ -320,7 +341,7 @@ class MiniCfs {
   // Reader-side block cache; null when config.cache_bytes == 0 (the
   // pre-cache read path, exactly).
   std::unique_ptr<datapath::BlockCache> cache_;
-  erasure::RSCode code_;
+  std::unique_ptr<erasure::ErasureCodec> codec_;
 
   // The NameNode namespace: lock-striped block locations, stripe metadata,
   // and block->stripe positions (cfs/namespace.h).  The placement policy

@@ -64,6 +64,15 @@ class BlockBuffer {
     return span().subspan(offset, len);
   }
 
+  // Zero-copy sub-buffer of bytes [offset, offset + len): shares this
+  // buffer's control block via the aliasing constructor, so the full
+  // allocation stays alive while any range view does.  The vector-codec
+  // repair path reads sub-block ranges of helper blocks through this.
+  BlockBuffer view(size_t offset, size_t len) const {
+    return BlockBuffer(
+        std::shared_ptr<const uint8_t[]>(data_, data_.get() + offset), len);
+  }
+
   // Materialises a private copy (charged to datapath.bytes_copied).
   std::vector<uint8_t> to_vector() const;
 

@@ -1,0 +1,117 @@
+// Clay (coupled-layer) MSR codes — repair-bandwidth-optimal vector codes
+// built by pairwise-coupling alpha = q^t stacked layers of the existing
+// scalar RS code (Vajha et al., FAST '18; SNIPPETS.md snippet 1).
+//
+// Construction.  Let q = n - k and t = ceil(n / q); when q does not divide
+// n the code is shortened from (n' = q*t, k' = k + n' - n) with always-zero
+// virtual data blocks.  The n' nodes sit on a q x t grid (node v at
+// x = v % q, y = v / q); every block splits into alpha = q^t sub-blocks,
+// one per plane z in [0, q)^t (z's y-th base-q digit selects a column
+// coordinate).  The stored ("coupled") symbol C(v; z) relates to an
+// uncoupled symbol U(v; z) by a symmetric pairwise transform within a
+// column:
+//
+//     partner of (x, y; z): node (z_y, y), plane z with digit y set to x
+//     C = U + gamma * U_partner     (unpaired when z_y == x: C = U)
+//
+// with gamma^2 != 1.  For every plane z the vector (U(0; z) ... U(n'-1; z))
+// is a codeword of the base [n', k'] RS code; encode/decode walk the planes
+// in order of "intersection score" (number of erased unpaired symbols),
+// uncoupling pairs and MDS-decoding each plane.
+//
+// The draw: repairing one lost block contacts all n - 1 surviving blocks
+// but fetches only the beta = alpha/q sub-blocks on the repair planes
+// {z : z_y0 = x0} — (n-1)/(k*q) of the k full blocks RS moves (0.33x for
+// (14,10), 0.58x for (8,6)).
+//
+// Everything numeric runs off *symbolically derived* GF(2^8) schedules:
+// the layered algorithm is executed once over coefficient vectors, and
+// encode_chunk / plan_repair / reconstruct apply the resulting sparse rows
+// to sub-block windows.  This keeps one implementation of the algebra and
+// makes the repair schedule a plain RepairPlan any executor can run.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "erasure/codec.h"
+
+namespace ear::erasure {
+
+class ClayCode final : public ErasureCodec {
+ public:
+  // Requires n - k >= 2 and q^t <= 4096 (alpha growth; (20,16) -> 1024).
+  ClayCode(int n, int k, Construction construction = Construction::kCauchy);
+
+  CodecFamily family() const override { return CodecFamily::kClay; }
+  int n() const override { return n_; }
+  int k() const override { return k_; }
+  int alpha() const override { return alpha_; }
+  int q() const { return q_; }
+  int t() const { return t_; }
+  // Sub-blocks fetched per helper by a single-block repair plan.
+  int beta() const { return alpha_ / q_; }
+
+  void encode_chunk(const std::vector<BlockView>& data,
+                    const std::vector<MutBlockView>& parity, size_t offset,
+                    size_t len) const override;
+  bool encode_schedule(Matrix* out) const override;
+  bool plan_repair(int lost_id, const std::vector<int>& available_ids,
+                   RepairPlan* plan) const override;
+  bool reconstruct(const std::vector<int>& available_ids,
+                   const std::vector<BlockView>& available,
+                   const std::vector<int>& wanted_ids,
+                   const std::vector<MutBlockView>& out,
+                   std::string* why = nullptr) const override;
+
+ private:
+  using Vec = std::vector<uint8_t>;  // symbolic GF(2^8) coefficient vector
+
+  // Sparse row set over sub-block units (column index = unit).
+  struct Sparse {
+    int cols = 0;
+    std::vector<std::vector<std::pair<int, uint8_t>>> rows;
+  };
+
+  // Grid helpers over the extended [n', k'] code.
+  int node_x(int v) const { return v % q_; }
+  int node_y(int v) const { return v / q_; }
+  int zdigit(int z, int y) const;
+  int zset(int z, int y, int x) const;  // z with digit y replaced by x
+  // Real block id -> extended node index (virtual zeros sit in between).
+  int node_of(int id) const { return id < k_ ? id : id + ext_k_ - k_; }
+
+  // Runs the coupled-layer decode symbolically: given C coefficient
+  // vectors at every non-erased extended node (zero vectors for virtual
+  // blocks), returns the C vectors of the erased nodes, indexed
+  // [erased index][plane].
+  std::vector<std::vector<Vec>> decode_layered(
+      const std::vector<bool>& erased,
+      const std::vector<std::vector<Vec>>& c_in, int veclen) const;
+
+  const Sparse& encode_rows() const;  // lazily derived, cached
+  void apply_sparse(const Sparse& rows, const std::vector<BlockView>& units,
+                    const std::vector<MutBlockView>& outs, size_t offset,
+                    size_t len) const;
+
+  int n_;
+  int k_;
+  int q_;      // n - k, also the column count of erasures repair handles
+  int t_;      // grid columns: ceil(n / q)
+  int ext_n_;  // q * t
+  int ext_k_;  // ext_n - q
+  int alpha_;  // q^t
+  uint8_t gamma_;
+  uint8_t inv_det_;  // (1 + gamma^2)^-1, the pair-uncoupling scale
+  RSCode base_;      // the [n', k'] plane code
+
+  mutable std::mutex mu_;
+  mutable Sparse encode_rows_;               // empty until first use
+  mutable std::map<int, RepairPlan> plans_;  // per lost id
+  mutable std::map<std::pair<std::vector<int>, std::vector<int>>, Sparse>
+      reconstruct_cache_;
+};
+
+}  // namespace ear::erasure

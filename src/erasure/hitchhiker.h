@@ -1,0 +1,64 @@
+// Hitchhiker-XOR — Rashmi et al.'s piggybacking transform (SIGCOMM '14)
+// over the existing RS code, built for exactly the Facebook warehouse
+// cluster the source paper targets (PAPERS.md).
+//
+// Every block splits into alpha = 2 sub-blocks: substripe `a` (sub-block 0)
+// and substripe `b` (sub-block 1), each an independent RS codeword over the
+// same [n, k] generator.  The data blocks partition into m - 1 groups
+// S_1..S_{m-1}; parity j >= 1 "piggybacks" its group's a-symbols onto its
+// b-half:
+//
+//     parity_j = [ f_j(a) ; f_j(b) + XOR_{i in S_j} a_i ]   (j >= 1)
+//     parity_0 = [ f_0(a) ; f_0(b) ]                        (clean)
+//
+// Repairing data block i in S_j fetches the b-halves of the other k - 1
+// data blocks plus parity_0 (decode substripe b, yielding b_i and f_j(b)),
+// then parity_j's b-half and the a-halves of S_j \ {i} to peel a_i out of
+// the piggyback — (k + |S_j|) half-blocks instead of k full blocks (0.65x
+// for (14,10)).  Parity repair has no shortcut and moves k full blocks,
+// exactly like RS.
+#pragma once
+
+#include <vector>
+
+#include "erasure/codec.h"
+
+namespace ear::erasure {
+
+class HitchhikerCode final : public ErasureCodec {
+ public:
+  // Requires n - k >= 2 (parity 0 must stay clean for the b-decode).
+  HitchhikerCode(int n, int k,
+                 Construction construction = Construction::kCauchy);
+
+  CodecFamily family() const override { return CodecFamily::kHitchhiker; }
+  int n() const override { return base_.n(); }
+  int k() const override { return base_.k(); }
+  int alpha() const override { return 2; }
+
+  // Piggyback group of a data block, in [0, m - 2] (group g uses
+  // parity g + 1).
+  int group_of(int data_id) const;
+
+  void encode_chunk(const std::vector<BlockView>& data,
+                    const std::vector<MutBlockView>& parity, size_t offset,
+                    size_t len) const override;
+  bool encode_schedule(Matrix* out) const override;
+  bool plan_repair(int lost_id, const std::vector<int>& available_ids,
+                   RepairPlan* plan) const override;
+  bool reconstruct(const std::vector<int>& available_ids,
+                   const std::vector<BlockView>& available,
+                   const std::vector<int>& wanted_ids,
+                   const std::vector<MutBlockView>& out,
+                   std::string* why = nullptr) const override;
+
+ private:
+  uint8_t gen(int row, int col) const {
+    return base_.generator().at(base_.k() + row, col);
+  }
+
+  RSCode base_;
+  std::vector<std::vector<int>> groups_;  // m - 1 contiguous data groups
+};
+
+}  // namespace ear::erasure

@@ -103,13 +103,25 @@ void RSCode::encode_chunk(const std::vector<BlockView>& data,
 
 bool RSCode::plan_reconstruct(const std::vector<int>& available_ids,
                               const std::vector<int>& wanted_ids,
-                              Matrix* coeffs) const {
+                              Matrix* coeffs, std::string* why) const {
   assert(static_cast<int>(available_ids.size()) == k_);
 
   // Rows of the generator for the available blocks map the original data to
   // the available blocks; inverting recovers data coefficients.
   const Matrix decode = generator_.select_rows(available_ids).inverted();
-  if (decode.rows() == 0) return false;
+  if (decode.rows() == 0) {
+    if (why != nullptr) {
+      std::string ids;
+      for (const int id : available_ids) {
+        if (!ids.empty()) ids += ",";
+        ids += std::to_string(id);
+      }
+      *why = "singular RS(" + std::to_string(n_) + "," + std::to_string(k_) +
+             (construction_ == Construction::kCauchy ? ",cauchy" : ",vandermonde") +
+             ") decode matrix for available_ids=[" + ids + "]";
+    }
+    return false;
+  }
 
   // wanted = G[wanted_rows] * decode * available.
   *coeffs = generator_.select_rows(wanted_ids).multiply(decode);
@@ -127,11 +139,12 @@ void RSCode::decode_chunk(const Matrix& coeffs,
 bool RSCode::reconstruct(const std::vector<int>& available_ids,
                          const std::vector<BlockView>& available,
                          const std::vector<int>& wanted_ids,
-                         const std::vector<MutBlockView>& out) const {
+                         const std::vector<MutBlockView>& out,
+                         std::string* why) const {
   assert(available.size() == available_ids.size());
   assert(wanted_ids.size() == out.size());
   Matrix coeffs;
-  if (!plan_reconstruct(available_ids, wanted_ids, &coeffs)) return false;
+  if (!plan_reconstruct(available_ids, wanted_ids, &coeffs, why)) return false;
   const size_t size = available.empty() ? 0 : available.front().size();
   decode_chunk(coeffs, available, out, 0, size);
   return true;

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "erasure/matrix.h"
@@ -58,10 +59,13 @@ class RSCode {
   // Precomputes the decode coefficient matrix mapping the k available
   // blocks to `wanted_ids`, so a chunked reconstruction inverts the
   // generator once, not once per window.  Returns false iff the decode
-  // matrix is singular (a defect for a correct MDS construction).
+  // matrix is singular (a defect for a correct MDS construction); when
+  // `why` is non-null it then receives a diagnostic naming the exact
+  // `available_ids` the caller passed, so the failure is actionable
+  // instead of a bare boolean.
   bool plan_reconstruct(const std::vector<int>& available_ids,
-                        const std::vector<int>& wanted_ids,
-                        Matrix* coeffs) const;
+                        const std::vector<int>& wanted_ids, Matrix* coeffs,
+                        std::string* why = nullptr) const;
 
   // Applies a plan_reconstruct() plan to one window of the available
   // blocks; chunked decode is byte-identical to a one-shot reconstruct().
@@ -75,11 +79,13 @@ class RSCode {
   // k distinct block indices in [0, n); `available[i]` is the content of
   // block `available_ids[i]`.  Returns false iff the decode matrix is
   // singular, which cannot happen for a correct MDS construction and is
-  // treated as a defect, not an expected error.
+  // treated as a defect, not an expected error.  On failure `why` (when
+  // non-null) carries the offending `available_ids`.
   bool reconstruct(const std::vector<int>& available_ids,
                    const std::vector<BlockView>& available,
                    const std::vector<int>& wanted_ids,
-                   const std::vector<MutBlockView>& out) const;
+                   const std::vector<MutBlockView>& out,
+                   std::string* why = nullptr) const;
 
   // Convenience wrapper: recover all k data blocks from any k available
   // blocks.

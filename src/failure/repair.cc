@@ -182,7 +182,11 @@ RepairManager::Outcome RepairManager::attempt(const Task& task,
     const std::set<RackId> avoid = cfs_->live_stripe_racks(block);
     const NodeId dst = cfs_->pick_repair_target({}, avoid);
     if (dst == kInvalidNode) return Outcome::kRetry;
-    const Bytes moved = block_size * cfs_->config().placement.code.k;
+    // Per-codec repair traffic: the codec's cheapest plan for the live
+    // helper set (sub-block ranges for Clay/Hitchhiker, a local group for
+    // LRC) — k full blocks only when no plan exists.  Scalar RS resolves
+    // to exactly the old block_size * k model.
+    const Bytes moved = cfs_->planned_repair_bytes(block);
     throttle(moved, live_mode);
     try {
       cfs_->repair_block(block, dst);

@@ -20,6 +20,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/units.h"
+#include "erasure/codec.h"
 #include "placement/policy.h"
 #include "sim/network.h"
 
@@ -63,6 +64,16 @@ struct SimConfig {
   // as a two-level flow (leaf -> aggregator, then aggregator -> encoder).
   bool ecdag_enable = false;
 
+  // Post-encode repair drill: after encoding completes, this many
+  // single-block failures are drawn uniformly over the encoded stripes and
+  // each one's repair traffic is replayed through the network — the
+  // cheapest RepairPlan of `codec_family` decides how many bytes every
+  // helper ships (sub-block ranges for Clay/Hitchhiker, a local group for
+  // LRC, k full blocks for scalar RS).  0 (default) skips the drill: the
+  // pre-codec simulation, exactly.
+  int repair_drill_blocks = 0;
+  erasure::CodecFamily codec_family = erasure::CodecFamily::kRS;
+
   uint64_t seed = 1;
 };
 
@@ -94,6 +105,11 @@ struct SimResult {
   double mean_layout_iterations = 0;
 
   int writes_completed = 0;
+
+  // Repair drill (when SimConfig::repair_drill_blocks > 0).
+  int repairs_simulated = 0;
+  int64_t repair_bytes = 0;          // network bytes the repair plans moved
+  Seconds repair_drill_seconds = 0;  // drill duration in virtual time
 };
 
 class ClusterSim {
@@ -119,6 +135,7 @@ class ClusterSim {
                           const std::vector<NodeId>& sources);
   void finish_stripe(EncodeProcess& proc);
   void on_all_encoding_done();
+  void run_repair_drill();
 
   SimConfig config_;
   Topology topo_;

@@ -60,6 +60,19 @@ class BlockStore {
   // Zero-copy reference to the stored bytes; nullopt when absent.
   virtual std::optional<datapath::BlockBuffer> get(BlockId block) const = 0;
 
+  // Zero-copy reference to bytes [offset, offset + len) of the stored
+  // block; nullopt when absent (or the range falls outside the block).
+  // Backends whose get() already aliases the storage (mmap segments,
+  // in-RAM buffers) serve this without touching the other bytes — the
+  // vector-codec repair path fetches sub-block ranges through here.
+  virtual std::optional<datapath::BlockBuffer> get_range(BlockId block,
+                                                         size_t offset,
+                                                         size_t len) const {
+    auto full = get(block);
+    if (!full.has_value() || offset + len > full->size()) return std::nullopt;
+    return full->view(offset, len);
+  }
+
   // Removes the block.  Returns false when it was not present.
   virtual bool erase(BlockId block) = 0;
 

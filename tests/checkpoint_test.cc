@@ -129,24 +129,37 @@ TEST(Checkpoint, RejectsGarbage) {
                std::runtime_error);
 }
 
-// Down-converts a freshly saved (v5) image to an older format version by
+// Down-converts a freshly saved (v6) image to an older format version by
 // deleting the fields that version lacks and patching the magic digit.
 // Layout: 8-byte magic, 13 fixed i64 config fields, the v3 read-path pair
 // (cache_bytes, read_fanout_lanes), the v4 store triple (backend,
-// length-prefixed dir, segment bytes), then the v5 ecdag_enable i64.
-std::vector<uint8_t> downconvert(std::vector<uint8_t> image, int version) {
-  constexpr size_t kV3Offset = 8 + 13 * 8;
-  constexpr size_t kV4Offset = kV3Offset + 2 * 8;
+// length-prefixed dir, segment bytes), the v5 ecdag_enable i64, then the
+// v6 codec pair (codec_family, alpha).
+constexpr size_t kV3Offset = 8 + 13 * 8;
+constexpr size_t kV4Offset = kV3Offset + 2 * 8;
+
+size_t v5_offset(const std::vector<uint8_t>& image) {
   uint64_t dir_len = 0;
   for (int i = 0; i < 8; ++i) {
     dir_len |= static_cast<uint64_t>(image[kV4Offset + 8 +
                                            static_cast<size_t>(i)])
                << (8 * i);
   }
-  const size_t kV5Offset = kV4Offset + 3 * 8 + static_cast<size_t>(dir_len);
-  const auto v5_begin = image.begin() + static_cast<ptrdiff_t>(kV5Offset);
-  image.erase(v5_begin, v5_begin + 8);
+  return kV4Offset + 3 * 8 + static_cast<size_t>(dir_len);
+}
+
+std::vector<uint8_t> downconvert(std::vector<uint8_t> image, int version) {
+  const size_t kV5Offset = v5_offset(image);
+  const size_t kV6Offset = kV5Offset + 8;
+  const auto v6_begin = image.begin() + static_cast<ptrdiff_t>(kV6Offset);
+  image.erase(v6_begin, v6_begin + 2 * 8);
+  if (version <= 4) {
+    const auto v5_begin = image.begin() + static_cast<ptrdiff_t>(kV5Offset);
+    image.erase(v5_begin, v5_begin + 8);
+  }
   if (version <= 3) {
+    const uint64_t dir_len =
+        static_cast<uint64_t>(kV5Offset - (kV4Offset + 3 * 8));
     const auto v4_begin = image.begin() + static_cast<ptrdiff_t>(kV4Offset);
     image.erase(v4_begin,
                 v4_begin + static_cast<ptrdiff_t>(3 * 8 + dir_len));
@@ -200,14 +213,14 @@ TEST(Checkpoint, RejectsVersionsOutsideSupportedRange) {
 
   // A too-old and a too-new digit must both fail loudly, naming the range,
   // even though the rest of the stream is intact.
-  for (const char digit : {'1', '6'}) {
+  for (const char digit : {'1', '7'}) {
     auto bad = image;
     bad[7] = static_cast<uint8_t>(digit);
     try {
       load_checkpoint(bad, instant(cfg));
       FAIL() << "version '" << digit << "' must be rejected";
     } catch (const std::runtime_error& e) {
-      EXPECT_NE(std::string(e.what()).find("supported: 2..5"),
+      EXPECT_NE(std::string(e.what()).find("supported: 2..6"),
                 std::string::npos)
           << e.what();
     }
@@ -240,6 +253,58 @@ TEST(Checkpoint, RoundTripPreservesEcdagFlag) {
   EXPECT_TRUE(restored->config().ecdag_enable);
   for (const auto& [id, data] : contents) {
     EXPECT_EQ(restored->read_block(id, 0), data);
+  }
+}
+
+TEST(Checkpoint, LoadsVersion5WithCodecDefault) {
+  const auto cfg = ck_config();
+  auto original = make_cfs(cfg);
+  Rng rng(11);
+  const auto contents = populate(*original, rng);
+
+  const auto v5 = downconvert(save_checkpoint(*original), 5);
+  auto restored = load_checkpoint(v5, instant(cfg));
+  EXPECT_EQ(restored->config().codec_family, erasure::CodecFamily::kRS)
+      << "pre-codec checkpoints must restore to scalar Reed-Solomon";
+  EXPECT_EQ(restored->codec().alpha(), 1);
+  for (const auto& [id, data] : contents) {
+    EXPECT_EQ(restored->read_block(id, 0), data);
+  }
+}
+
+TEST(Checkpoint, RoundTripPreservesCodecFamily) {
+  auto cfg = ck_config();
+  cfg.codec_family = erasure::CodecFamily::kClay;  // (8,6): alpha = 16
+  auto original = make_cfs(cfg);
+  Rng rng(12);
+  const auto contents = populate(*original, rng);
+
+  auto restored = load_checkpoint(save_checkpoint(*original), instant(cfg));
+  EXPECT_EQ(restored->config().codec_family, erasure::CodecFamily::kClay);
+  EXPECT_EQ(restored->codec().alpha(), 16);
+  for (const auto& [id, data] : contents) {
+    EXPECT_EQ(restored->read_block(id, 0), data);
+  }
+}
+
+TEST(Checkpoint, RejectsSubPacketizationMismatch) {
+  const auto cfg = ck_config();
+  auto original = make_cfs(cfg);
+  Rng rng(13);
+  populate(*original, rng);
+  auto image = save_checkpoint(*original);
+
+  // Corrupt the serialized alpha (second v6 field): the reader must refuse
+  // to mis-slice the block layout.
+  const size_t alpha_offset = v5_offset(image) + 2 * 8;
+  image[alpha_offset] = 99;
+  try {
+    load_checkpoint(image, instant(cfg));
+    FAIL() << "alpha mismatch must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("sub-packetization mismatch"),
+              std::string::npos)
+        << e.what();
   }
 }
 
