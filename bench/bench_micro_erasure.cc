@@ -14,6 +14,7 @@
 #include "erasure/lrc.h"
 #include "erasure/rs.h"
 #include "gf256/gf256.h"
+#include "gf256/kernel.h"
 
 namespace {
 
@@ -26,6 +27,13 @@ std::vector<uint8_t> random_bytes(size_t size, uint64_t seed) {
   return out;
 }
 
+// Every run label carries the dispatched GF(2^8) kernel so before/after
+// comparisons (EAR_GF_KERNEL=scalar vs auto) stay attributable in the CSV.
+std::string kernel_label(const std::string& extra = "") {
+  const std::string k = std::string("kernel_") + gf::kernel().name;
+  return extra.empty() ? k : extra + "|" + k;
+}
+
 void BM_GfMulAdd(benchmark::State& state) {
   const size_t size = static_cast<size_t>(state.range(0));
   const auto src = random_bytes(size, 1);
@@ -36,6 +44,7 @@ void BM_GfMulAdd(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(size));
+  state.SetLabel(kernel_label());
 }
 BENCHMARK(BM_GfMulAdd)->Arg(4096)->Arg(65536)->Arg(1 << 20);
 
@@ -49,6 +58,7 @@ void BM_GfXorAdd(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(size));
+  state.SetLabel(kernel_label());
 }
 BENCHMARK(BM_GfXorAdd)->Arg(65536)->Arg(1 << 20);
 
@@ -73,6 +83,7 @@ void rs_encode_bench(benchmark::State& state,
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(block) * k);
+  state.SetLabel(kernel_label());
 }
 
 void BM_RsEncodeCauchy(benchmark::State& state) {
@@ -123,6 +134,7 @@ void BM_RsDecodeWorstCase(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(block) * 4);
+  state.SetLabel(kernel_label());
 }
 BENCHMARK(BM_RsDecodeWorstCase)->Arg(8)->Arg(10)->Arg(12);
 
@@ -149,7 +161,8 @@ void BM_CrsEncodeXorOnly(benchmark::State& state) {
                           static_cast<int64_t>(block) * k);
   // As the run label, not a custom counter: the CSV reporter aborts when a
   // counter appears in some runs but not others.
-  state.SetLabel(std::to_string(code.schedule_xor_count()) + "_xors");
+  state.SetLabel(
+      kernel_label(std::to_string(code.schedule_xor_count()) + "_xors"));
 }
 BENCHMARK(BM_CrsEncodeXorOnly)->Arg(8)->Arg(10)->Arg(12);
 
@@ -170,6 +183,7 @@ void BM_LrcEncode(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(block) * code.k());
+  state.SetLabel(kernel_label());
 }
 BENCHMARK(BM_LrcEncode);
 
@@ -199,6 +213,7 @@ void BM_LrcLocalRepair(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(block));
+  state.SetLabel(kernel_label());
 }
 BENCHMARK(BM_LrcLocalRepair);
 
@@ -258,7 +273,7 @@ void vector_encode_bench(benchmark::State& state,
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(block) * codec.k());
-  state.SetLabel("alpha_" + std::to_string(codec.alpha()));
+  state.SetLabel(kernel_label("alpha_" + std::to_string(codec.alpha())));
 }
 
 void vector_repair_bench(benchmark::State& state,
@@ -283,10 +298,10 @@ void vector_repair_bench(benchmark::State& state,
                           static_cast<int64_t>(block));
   // Network bytes the plan moves, in 1/100ths of a block (run label: the
   // CSV reporter aborts on counters that appear only in some runs).
-  state.SetLabel(
+  state.SetLabel(kernel_label(
       std::to_string(plan.bytes_read(static_cast<ear::Bytes>(block)) * 100 /
                      static_cast<int64_t>(block)) +
-      "pct_block_read");
+      "pct_block_read"));
 }
 
 void BM_ClayEncode(benchmark::State& state) {

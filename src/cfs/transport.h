@@ -10,6 +10,7 @@
 //    real time, reproducing the cross-rack bottleneck physically.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -101,6 +102,13 @@ struct ThrottleConfig {
   // Local disk bandwidth per node; 0 = local reads are free.  The paper's
   // testbed disks (~130 MB/s SATA) are comparable to its 1 Gb/s links.
   BytesPerSec disk_bw = 0;
+  // Granularity the staged pipeline interleaves transfer and compute at
+  // (preferred_chunk); 0 = follow chunk_size.  Re-tuned for the SIMD GF
+  // kernels: bench_micro_gf measures AVX2 mul_add at ~19-23 GB/s while src +
+  // dst stay cache-resident (4-256 KiB) but ~17 GB/s once spans reach 1 MiB,
+  // and with encode now ~16x faster than scalar the pipeline wants finer
+  // chunks so transfer/compute overlap dominates, not per-chunk compute.
+  Bytes pipeline_chunk = 256_KB;
 };
 
 class ThrottledTransport final : public Transport {
@@ -112,7 +120,10 @@ class ThrottledTransport final : public Transport {
   void local_read(NodeId node, Bytes size) override;
   void inject(NodeId src, NodeId dst, Bytes size) override;
 
-  Bytes preferred_chunk() const override { return config_.chunk_size; }
+  Bytes preferred_chunk() const override {
+    if (config_.pipeline_chunk <= 0) return config_.chunk_size;
+    return std::min(config_.chunk_size, config_.pipeline_chunk);
+  }
 
   int64_t cross_rack_bytes() const override { return cross_; }
   int64_t intra_rack_bytes() const override { return intra_; }

@@ -164,23 +164,28 @@ ExecStats execute(const EcDag& dag, const Topology& topo,
   const auto compute = [&](int c) {
     const size_t off = cp.offset(c);
     const size_t len = cp.len(c);
+    // Each step's term list runs as one multi-source kernel sweep: the
+    // destination window is written once per step instead of once per term.
+    std::vector<const uint8_t*> srcs;
+    std::vector<uint8_t> coeffs;
     for (const Step& step : program) {
       erasure::MutBlockView dst =
           step.output >= 0
               ? outputs[static_cast<size_t>(step.output)].subspan(off, len)
               : erasure::MutBlockView(scratch[step.node]).subspan(0, len);
-      std::memset(dst.data(), 0, dst.size());
+      srcs.clear();
+      coeffs.clear();
+      srcs.reserve(step.terms.size());
+      coeffs.reserve(step.terms.size());
       for (const Term& t : step.terms) {
-        erasure::BlockView src =
-            t.fetch >= 0
-                ? inputs[static_cast<size_t>(t.fetch)].subspan(off, len)
-                : erasure::BlockView(scratch[t.scratch]).subspan(0, len);
-        if (t.coeff == 1) {
-          gf::xor_add(src, dst);
-        } else {
-          gf::mul_add(t.coeff, src, dst);
-        }
+        // Fetch windows track the chunk offset; scratch buffers are
+        // chunk-local and always start at 0.
+        srcs.push_back(t.fetch >= 0
+                           ? inputs[static_cast<size_t>(t.fetch)].data() + off
+                           : scratch[t.scratch].data());
+        coeffs.push_back(t.coeff);
       }
+      gf::mul_add_multi(srcs, coeffs, dst, /*accumulate=*/false);
       if (step.output < 0) {
         stats.partial_chunks += 1;
       }

@@ -209,19 +209,20 @@ void ClayCode::apply_sparse(const Sparse& rows,
                             const std::vector<MutBlockView>& outs,
                             size_t offset, size_t len) const {
   assert(outs.size() == rows.rows.size());
+  // Each sparse row becomes one multi-source kernel sweep over its units.
+  std::vector<const uint8_t*> srcs;
+  std::vector<uint8_t> coeffs;
   for (size_t r = 0; r < rows.rows.size(); ++r) {
     MutBlockView out = outs[r].subspan(offset, len);
-    bool first = true;
+    srcs.clear();
+    coeffs.clear();
+    srcs.reserve(rows.rows[r].size());
+    coeffs.reserve(rows.rows[r].size());
     for (const auto& [u, coeff] : rows.rows[r]) {
-      const BlockView in = units[static_cast<size_t>(u)].subspan(offset, len);
-      if (first) {
-        gf::mul_assign(coeff, in, out);
-        first = false;
-      } else {
-        gf::mul_add(coeff, in, out);
-      }
+      srcs.push_back(units[static_cast<size_t>(u)].subspan(offset, len).data());
+      coeffs.push_back(coeff);
     }
-    if (first) std::fill(out.begin(), out.end(), uint8_t{0});
+    gf::mul_add_multi(srcs, coeffs, out, /*accumulate=*/false);
   }
 }
 

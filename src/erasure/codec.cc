@@ -68,22 +68,24 @@ void ErasureCodec::apply_plan_chunk(const RepairPlan& plan,
   assert(plan.coeffs.rows() == plan.alpha);
   assert(plan.coeffs.cols() == plan.total_units());
   const size_t sub = out_block.size() / static_cast<size_t>(plan.alpha);
+  // One multi-source sweep per output row; live (non-zero) terms are
+  // compacted first so the kernel only ever touches units the row reads.
+  std::vector<const uint8_t*> srcs;
+  std::vector<uint8_t> row;
+  srcs.reserve(units.size());
+  row.reserve(units.size());
   for (int r = 0; r < plan.alpha; ++r) {
     MutBlockView out =
         out_block.subspan(static_cast<size_t>(r) * sub + offset, len);
-    bool first = true;
+    srcs.clear();
+    row.clear();
     for (int u = 0; u < plan.coeffs.cols(); ++u) {
       const uint8_t coeff = plan.coeffs.at(r, u);
       if (coeff == 0) continue;  // vector schedules are sparse; skip
-      const BlockView in = units[static_cast<size_t>(u)].subspan(offset, len);
-      if (first) {
-        gf::mul_assign(coeff, in, out);
-        first = false;
-      } else {
-        gf::mul_add(coeff, in, out);
-      }
+      srcs.push_back(units[static_cast<size_t>(u)].subspan(offset, len).data());
+      row.push_back(coeff);
     }
-    if (first) std::fill(out.begin(), out.end(), uint8_t{0});
+    gf::mul_add_multi(srcs, row, out, /*accumulate=*/false);
   }
 }
 
@@ -131,21 +133,21 @@ void LrcCodec::encode_chunk(const std::vector<BlockView>& data,
   // encode applies the generator's parity rows to the window directly.
   assert(static_cast<int>(data.size()) == k());
   assert(static_cast<int>(parity.size()) == m());
+  std::vector<const uint8_t*> srcs;
+  std::vector<uint8_t> row;
+  srcs.reserve(data.size());
+  row.reserve(data.size());
   for (int j = 0; j < m(); ++j) {
     MutBlockView out = parity[static_cast<size_t>(j)].subspan(offset, len);
-    bool first = true;
+    srcs.clear();
+    row.clear();
     for (int i = 0; i < k(); ++i) {
       const uint8_t coeff = code_.generator().at(k() + j, i);
       if (coeff == 0) continue;  // local parities touch one group only
-      const BlockView in = data[static_cast<size_t>(i)].subspan(offset, len);
-      if (first) {
-        gf::mul_assign(coeff, in, out);
-        first = false;
-      } else {
-        gf::mul_add(coeff, in, out);
-      }
+      srcs.push_back(data[static_cast<size_t>(i)].subspan(offset, len).data());
+      row.push_back(coeff);
     }
-    if (first) std::fill(out.begin(), out.end(), uint8_t{0});
+    gf::mul_add_multi(srcs, row, out, /*accumulate=*/false);
   }
 }
 

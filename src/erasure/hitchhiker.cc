@@ -33,22 +33,21 @@ void HitchhikerCode::encode_chunk(const std::vector<BlockView>& data,
   const size_t sub = data.front().size() / 2;
   assert(data.front().size() % 2 == 0);
 
+  std::vector<const uint8_t*> srcs(static_cast<size_t>(k()));
+  std::vector<uint8_t> row(static_cast<size_t>(k()));
   for (int j = 0; j < m(); ++j) {
     // a-half: f_j(a); b-half: f_j(b), then the group piggyback for j >= 1.
     for (int half = 0; half < 2; ++half) {
       MutBlockView out = parity[static_cast<size_t>(j)].subspan(
           static_cast<size_t>(half) * sub + offset, len);
-      bool first = true;
       for (int i = 0; i < k(); ++i) {
-        const BlockView in = data[static_cast<size_t>(i)].subspan(
-            static_cast<size_t>(half) * sub + offset, len);
-        if (first) {
-          gf::mul_assign(gen(j, i), in, out);
-          first = false;
-        } else {
-          gf::mul_add(gen(j, i), in, out);
-        }
+        srcs[static_cast<size_t>(i)] =
+            data[static_cast<size_t>(i)]
+                .subspan(static_cast<size_t>(half) * sub + offset, len)
+                .data();
+        row[static_cast<size_t>(i)] = gen(j, i);
       }
+      gf::mul_add_multi(srcs, row, out, /*accumulate=*/false);
     }
     if (j >= 1) {
       MutBlockView out =
@@ -266,19 +265,18 @@ bool HitchhikerCode::reconstruct(const std::vector<int>& available_ids,
     } else {
       // Re-encode just this parity from the decoded data.
       const int j = id - k();
+      std::vector<const uint8_t*> srcs(static_cast<size_t>(k()));
+      std::vector<uint8_t> row(static_cast<size_t>(k()));
       for (int half = 0; half < 2; ++half) {
         MutBlockView hv = dst.subspan(static_cast<size_t>(half) * sub, sub);
-        bool first = true;
         for (int i = 0; i < k(); ++i) {
-          const BlockView in = half == 0 ? a_in[static_cast<size_t>(i)]
-                                         : b_in[static_cast<size_t>(i)];
-          if (first) {
-            gf::mul_assign(gen(j, i), in, hv);
-            first = false;
-          } else {
-            gf::mul_add(gen(j, i), in, hv);
-          }
+          srcs[static_cast<size_t>(i)] =
+              (half == 0 ? a_in[static_cast<size_t>(i)]
+                         : b_in[static_cast<size_t>(i)])
+                  .data();
+          row[static_cast<size_t>(i)] = gen(j, i);
         }
+        gf::mul_add_multi(srcs, row, hv, /*accumulate=*/false);
       }
       if (j >= 1) {
         MutBlockView hv = dst.subspan(sub, sub);

@@ -31,28 +31,23 @@ Matrix make_generator(int n, int k, Construction construction) {
   return v.multiply(head_inv);
 }
 
-// dst[j] (+)= sum_i coeff[row][i] * src[i], applied blockwise.
+// dst[j] = sum_i coeff[row][i] * src[i], applied blockwise: each output row
+// is one multi-source kernel sweep, so the destination stays register/cache
+// resident while every source streams through once.
 void apply_rows(const Matrix& coeffs, const std::vector<BlockView>& src,
                 const std::vector<MutBlockView>& dst) {
   assert(static_cast<size_t>(coeffs.rows()) == dst.size());
   assert(static_cast<size_t>(coeffs.cols()) == src.size());
+  std::vector<const uint8_t*> srcs(src.size());
+  std::vector<uint8_t> row(src.size());
+  for (size_t c = 0; c < src.size(); ++c) srcs[c] = src[c].data();
   for (int r = 0; r < coeffs.rows(); ++r) {
     MutBlockView out = dst[static_cast<size_t>(r)];
-    bool first = true;
     for (int c = 0; c < coeffs.cols(); ++c) {
-      const uint8_t coeff = coeffs.at(r, c);
-      const BlockView in = src[static_cast<size_t>(c)];
-      assert(in.size() == out.size());
-      if (first) {
-        gf::mul_assign(coeff, in, out);
-        first = false;
-      } else {
-        gf::mul_add(coeff, in, out);
-      }
+      assert(src[static_cast<size_t>(c)].size() == out.size());
+      row[static_cast<size_t>(c)] = coeffs.at(r, c);
     }
-    if (first) {
-      std::fill(out.begin(), out.end(), uint8_t{0});
-    }
+    gf::mul_add_multi(srcs, row, out, /*accumulate=*/false);
   }
 }
 

@@ -1,62 +1,41 @@
 #include "gf256/gf256.h"
 
 #include <cassert>
-#include <cstring>
+
+#include "gf256/kernel.h"
 
 namespace ear::gf {
 
-namespace {
-
-// Processes 8 bytes per iteration through a 64-bit XOR when c == 1.
-void xor_add_impl(const uint8_t* src, uint8_t* dst, size_t n) {
-  size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    uint64_t a, b;
-    std::memcpy(&a, src + i, 8);
-    std::memcpy(&b, dst + i, 8);
-    b ^= a;
-    std::memcpy(dst + i, &b, 8);
-  }
-  for (; i < n; ++i) dst[i] ^= src[i];
-}
-
-}  // namespace
+// The span-level entry points resolve the active kernel per call (an atomic
+// load plus an indirect call — noise next to the bulk work) so a
+// KernelOverride in a test redirects every consumer immediately.
 
 void mul_add(uint8_t c, std::span<const uint8_t> src, std::span<uint8_t> dst) {
   assert(src.size() == dst.size());
-  if (c == 0) return;
-  if (c == 1) {
-    xor_add_impl(src.data(), dst.data(), src.size());
-    return;
-  }
-  const MulTable table(c);
-  const size_t n = src.size();
-  for (size_t i = 0; i < n; ++i) {
-    dst[i] ^= table.apply(src[i]);
-  }
+  if (dst.empty()) return;
+  kernel().mul_add(c, src.data(), dst.data(), dst.size());
 }
 
 void mul_assign(uint8_t c, std::span<const uint8_t> src,
                 std::span<uint8_t> dst) {
   assert(src.size() == dst.size());
-  if (c == 0) {
-    std::memset(dst.data(), 0, dst.size());
-    return;
-  }
-  if (c == 1) {
-    std::memcpy(dst.data(), src.data(), src.size());
-    return;
-  }
-  const MulTable table(c);
-  const size_t n = src.size();
-  for (size_t i = 0; i < n; ++i) {
-    dst[i] = table.apply(src[i]);
-  }
+  if (dst.empty()) return;
+  kernel().mul_assign(c, src.data(), dst.data(), dst.size());
 }
 
 void xor_add(std::span<const uint8_t> src, std::span<uint8_t> dst) {
   assert(src.size() == dst.size());
-  xor_add_impl(src.data(), dst.data(), src.size());
+  if (dst.empty()) return;
+  kernel().xor_add(src.data(), dst.data(), dst.size());
+}
+
+void mul_add_multi(std::span<const uint8_t* const> srcs,
+                   std::span<const uint8_t> coeffs, std::span<uint8_t> dst,
+                   bool accumulate) {
+  assert(srcs.size() == coeffs.size());
+  if (dst.empty()) return;
+  kernel().mul_add_multi(dst.data(), srcs.data(), coeffs.data(), srcs.size(),
+                         dst.size(), accumulate);
 }
 
 }  // namespace ear::gf

@@ -5,10 +5,20 @@
 // the same polynomial used by HDFS-RAID, ISA-L and Jerasure, so encoded
 // parity bytes are bit-compatible with those implementations.
 //
-// Element representation: uint8_t.  Addition is XOR.  Multiplication uses
-// log/exp tables; the bulk "dst ^= c * src" kernel used by the encoder uses a
-// per-coefficient 512-byte split table (low/high nibble) so each output byte
-// costs two loads and one XOR.
+// Element representation: uint8_t.  Addition is XOR.  Single-element
+// `mul`/`inv`/`div`/`pow` use constexpr log/exp tables and stay scalar —
+// matrix inversion and plan construction need them at compile time and on
+// one byte at a time, where SIMD buys nothing.
+//
+// The bulk kernels (`mul_add`, `mul_assign`, `xor_add`, `mul_add_multi`)
+// dispatch through a per-ISA function table selected once at startup (see
+// kernel.h): a scalar low/high-nibble split-table reference, and SSSE3 /
+// AVX2 / NEON shuffle kernels that apply the same 16-entry nibble tables
+// with PSHUFB/VPSHUFB/TBL, 32–64 bytes per iteration.  Every kernel is
+// bit-compatible with the scalar field for all coefficients, lengths and
+// alignments (enforced exhaustively by tests/gf256_kernel_test.cc); the
+// `EAR_GF_KERNEL` environment variable pins a specific kernel for tests
+// and CI.
 #pragma once
 
 #include <cstdint>
@@ -102,5 +112,15 @@ void mul_assign(uint8_t c, std::span<const uint8_t> src,
 
 // dst[i] ^= src[i] (c == 1 fast path).
 void xor_add(std::span<const uint8_t> src, std::span<uint8_t> dst);
+
+// dst = (accumulate ? dst : 0) XOR sum_j coeffs[j] * srcs[j], in one sweep
+// over dst: the whole-row kernel behind RS/LRC/Clay row application, plan
+// execution and the ecdag executor's compiled term lists.  Zero
+// coefficients are skipped (sparse schedules pass them freely); with no
+// live term and !accumulate, dst is zero-filled.  Each srcs[j] must cover
+// dst.size() bytes and must not alias dst.
+void mul_add_multi(std::span<const uint8_t* const> srcs,
+                   std::span<const uint8_t> coeffs, std::span<uint8_t> dst,
+                   bool accumulate);
 
 }  // namespace ear::gf

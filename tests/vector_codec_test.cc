@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -15,6 +16,7 @@
 #include "datapath/block_buffer.h"
 #include "erasure/clay.h"
 #include "gf256/gf256.h"
+#include "gf256/kernel.h"
 #include "erasure/codec.h"
 #include "erasure/hitchhiker.h"
 #include "erasure/rs.h"
@@ -575,6 +577,151 @@ TEST(SimRepairDrill, ZeroDrillBlocksReproducesPreCodecSim) {
   EXPECT_EQ(r.repairs_simulated, 0);
   EXPECT_EQ(r.repair_bytes, 0);
   EXPECT_EQ(r.repair_drill_seconds, 0);
+}
+
+// ---------------------------------------------------- GF kernel sweep fuzz
+//
+// Differential fixture: run the same seeded codec workload once under every
+// compiled GF kernel (forced via gf::KernelOverride) and require the bytes
+// to match the scalar kernel exactly.  The scalar field is the reference;
+// any SIMD kernel drift in encode_chunk / apply_plan_chunk — including
+// ragged final chunks and the Clay/Hitchhiker sub-block schedules — fails
+// here byte-for-byte.
+class KernelSweep : public ::testing::Test {
+ protected:
+  // Runs `work` under each kernel, comparing its byte output to scalar's.
+  static void ExpectIdenticalOnEveryKernel(
+      const std::function<std::vector<uint8_t>()>& work) {
+    std::vector<uint8_t> want;
+    {
+      gf::KernelOverride scalar("scalar");
+      want = work();
+    }
+    for (const gf::GfKernel* k : gf::compiled_kernels()) {
+      gf::KernelOverride forced(k->name);
+      const std::vector<uint8_t> got = work();
+      ASSERT_EQ(got.size(), want.size()) << k->name;
+      ASSERT_EQ(got, want) << "kernel " << k->name
+                           << " diverges from scalar";
+    }
+  }
+
+  // A ragged chunk schedule over [0, sub): prime-length steps so the final
+  // chunk is partial and chunk edges land inside every vector width.
+  static void ForEachRaggedChunk(
+      size_t sub, const std::function<void(size_t, size_t)>& chunk) {
+    constexpr size_t kStep = 1009;
+    for (size_t off = 0; off < sub; off += kStep) {
+      chunk(off, std::min(kStep, sub - off));
+    }
+  }
+};
+
+TEST_F(KernelSweep, EncodeChunkIdenticalAcrossKernelsAllFamilies) {
+  struct Case {
+    CodecFamily family;
+    int n, k;
+  };
+  const Case cases[] = {
+      {CodecFamily::kRS, 10, 6},
+      {CodecFamily::kLRC, 11, 8},
+      {CodecFamily::kClay, 10, 6},
+      {CodecFamily::kHitchhiker, 10, 6},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(family_name(c.family));
+    const auto codec = make_codec(c.family, c.n, c.k);
+    // Divisible by any alpha <= 256 and not a multiple of the ragged step.
+    const size_t block = 64 * 1024;
+    const size_t sub = codec->sub_block_size(block);
+    std::vector<std::vector<uint8_t>> data;
+    for (int i = 0; i < codec->k(); ++i) {
+      data.push_back(random_bytes(block, 600 + static_cast<uint64_t>(i)));
+    }
+    const std::vector<BlockView> dv(data.begin(), data.end());
+    ExpectIdenticalOnEveryKernel([&] {
+      std::vector<std::vector<uint8_t>> parity(
+          static_cast<size_t>(codec->m()), std::vector<uint8_t>(block));
+      const std::vector<MutBlockView> pv(parity.begin(), parity.end());
+      ForEachRaggedChunk(sub, [&](size_t off, size_t len) {
+        codec->encode_chunk(dv, pv, off, len);
+      });
+      std::vector<uint8_t> all;
+      for (const auto& p : parity) all.insert(all.end(), p.begin(), p.end());
+      return all;
+    });
+  }
+}
+
+TEST_F(KernelSweep, RandomCoefficientPlansIdenticalAcrossKernels) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 25; ++trial) {
+    SCOPED_TRACE(trial);
+    const int alpha = 1 << rng.uniform(4);  // 1, 2, 4, 8
+    const int nunits = 1 + rng.uniform(12);
+    const size_t block = 8 * 1024;  // divisible by every alpha drawn above
+    const size_t sub = block / static_cast<size_t>(alpha);
+    RepairPlan plan;
+    plan.lost_id = 0;
+    plan.alpha = alpha;
+    plan.coeffs = Matrix(alpha, nunits);
+    for (int r = 0; r < alpha; ++r) {
+      for (int u = 0; u < nunits; ++u) {
+        // Sparse rows with the special values over-represented.
+        const int draw = rng.uniform(8);
+        plan.coeffs.at(r, u) = draw < 2   ? uint8_t{0}
+                               : draw < 3 ? uint8_t{1}
+                                          : static_cast<uint8_t>(
+                                                rng.uniform(256));
+      }
+    }
+    std::vector<std::vector<uint8_t>> unit_store;
+    for (int u = 0; u < nunits; ++u) {
+      unit_store.push_back(
+          random_bytes(sub, 900 + static_cast<uint64_t>(trial * 16 + u)));
+    }
+    const std::vector<BlockView> units(unit_store.begin(), unit_store.end());
+    ExpectIdenticalOnEveryKernel([&] {
+      std::vector<uint8_t> out(block, 0xEE);
+      ForEachRaggedChunk(sub, [&](size_t off, size_t len) {
+        ErasureCodec::apply_plan_chunk(plan, units, out, off, len);
+      });
+      return out;
+    });
+  }
+}
+
+TEST_F(KernelSweep, ClayAndHitchhikerRepairPlansIdenticalAcrossKernels) {
+  struct Case {
+    CodecFamily family;
+    int n, k;
+  };
+  const Case cases[] = {
+      {CodecFamily::kClay, 10, 6},
+      {CodecFamily::kClay, 12, 8},
+      {CodecFamily::kHitchhiker, 10, 6},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(family_name(c.family));
+    const auto codec = make_codec(c.family, c.n, c.k);
+    const size_t block = 64 * 1024;
+    const auto blocks = make_stripe(*codec, block, 1234);
+    for (const int lost : {0, c.k - 1, c.n - 1}) {
+      RepairPlan plan;
+      ASSERT_TRUE(codec->plan_repair(lost, all_but(c.n, lost), &plan));
+      const auto units = gather_units(plan, blocks);
+      const size_t sub = block / static_cast<size_t>(plan.alpha);
+      ExpectIdenticalOnEveryKernel([&] {
+        std::vector<uint8_t> out(block, 0x00);
+        ForEachRaggedChunk(sub, [&](size_t off, size_t len) {
+          ErasureCodec::apply_plan_chunk(plan, units, out, off, len);
+        });
+        EXPECT_EQ(out, blocks[static_cast<size_t>(lost)])
+            << "repair must also be correct, not merely consistent";
+        return out;
+      });
+    }
+  }
 }
 
 }  // namespace
