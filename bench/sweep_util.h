@@ -45,6 +45,11 @@ inline sim::SimConfig default_b2_config(const FlagParser& flags) {
   cfg.stripes_per_process =
       static_cast<int>(flags.get_int("stripes-per-process",
                                      flags.get_bool("paper-scale") ? 50 : 10));
+  // --encode-pipeline-chunks=N > 1 switches the simulated encode to the
+  // testbed's staged chunk pipeline (download/compute/upload overlap); the
+  // default 1 keeps the paper's serial-phase model.
+  cfg.encode_pipeline_chunks =
+      static_cast<int>(flags.get_int("encode-pipeline-chunks", 1));
   return cfg;
 }
 

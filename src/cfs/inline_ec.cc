@@ -11,6 +11,7 @@
 #include "cfs/minicfs.h"
 #include "obs/trace.h"
 #include "placement/replica_layout.h"
+#include "qos/qos.h"
 
 namespace ear::cfs {
 
@@ -18,6 +19,7 @@ StripeId MiniCfs::write_encoded_stripe(
     const std::vector<std::span<const uint8_t>>& data,
     std::optional<NodeId> writer) {
   obs::Span span("cfs.write_encoded_stripe", "cfs");
+  qos::OpScope op(qos::TrafficClass::kForegroundWrite);
   const int k = codec_->k();
   const int n = codec_->n();
   const int m = codec_->m();
@@ -73,9 +75,11 @@ StripeId MiniCfs::write_encoded_stripe(
   // each block to its node).
   const NodeId src = writer.value_or(kInvalidNode);
   {
+    const qos::Captured qctx = qos::capture();
     std::vector<std::thread> pushes;
     for (int i = 0; i < n; ++i) {
-      pushes.emplace_back([this, src, &nodes, i] {
+      pushes.emplace_back([this, src, &nodes, i, qctx] {
+        qos::InstallScope qscope(qctx);
         if (src != kInvalidNode) {
           transport_->transfer(src, nodes[static_cast<size_t>(i)],
                                config_.block_size);

@@ -11,6 +11,7 @@
 #include "ecdag/executor.h"
 #include "obs/trace.h"
 #include "placement/replica_layout.h"
+#include "qos/qos.h"
 #include "store/mem_store.h"
 #include "store/mmap_store.h"
 
@@ -167,6 +168,7 @@ BlockId MiniCfs::write_block(std::span<const uint8_t> data,
   }
   obs::Span span("cfs.write_block", "cfs");
   span.arg("bytes", config_.block_size);
+  qos::OpScope op(qos::TrafficClass::kForegroundWrite);
   TransferScope in_flight(*this);
 
   BlockPlacement placement;
@@ -186,9 +188,11 @@ BlockId MiniCfs::write_block(std::span<const uint8_t> data,
   // Hops overlap (HDFS streams 64 KB packets down the chain), so they run
   // concurrently here.
   const auto& replicas = placement.replicas;
+  const qos::Captured qctx = qos::capture();  // hops charge the writer's flow
   std::vector<std::thread> hops;
   for (size_t h = 0; h + 1 < replicas.size(); ++h) {
-    hops.emplace_back([this, &replicas, h] {
+    hops.emplace_back([this, &replicas, h, qctx] {
+      qos::InstallScope scope(qctx);
       transport_->transfer(replicas[h], replicas[h + 1], config_.block_size);
     });
   }
@@ -233,6 +237,9 @@ NodeId MiniCfs::pick_source(const std::vector<NodeId>& locations, NodeId dst,
 }
 
 datapath::BlockBuffer MiniCfs::read_block(BlockId block, NodeId reader) {
+  // Default class for an unwrapped caller; a workload's QosScope — or the
+  // kRepair scope of an enclosing repair_block — wins (see qos/qos.h).
+  qos::OpScope op(qos::TrafficClass::kForegroundRead);
   TransferScope in_flight(*this);
   // Reader-side cache first: a hit is served from the reader's own memory —
   // zero copies, zero transport bytes, no source involved at all.
@@ -259,6 +266,7 @@ datapath::BlockBuffer MiniCfs::read_block(BlockId block, NodeId reader) {
 
 datapath::BlockBuffer MiniCfs::degraded_read(BlockId block, NodeId reader) {
   // Reconstruct from any k live blocks of the stripe.
+  qos::OpScope op(qos::TrafficClass::kForegroundRead);
   obs::Span span("cfs.degraded_read", "cfs");
   span.arg("block", block);
   ctr_degraded_reads_->add();
@@ -430,6 +438,7 @@ void MiniCfs::encode_stripe(StripeId stripe,
                             std::optional<NodeId> encoder_override) {
   obs::Span stripe_span("cfs.encode_stripe", "cfs");
   stripe_span.arg("stripe", stripe);
+  qos::OpScope op(qos::TrafficClass::kBackgroundEncode);
   const int64_t encode_begin_us = obs::now_us();
   TransferScope in_flight(*this);
   if (ns_.stripe_encoded(stripe)) {
@@ -698,6 +707,9 @@ bool MiniCfs::node_alive(NodeId node) const {
 }
 
 void MiniCfs::repair_block(BlockId block, NodeId target) {
+  // The inner read_block inherits this class: repair traffic is kRepair
+  // end-to-end even though it rides the read path.
+  qos::OpScope op(qos::TrafficClass::kRepair);
   obs::Span span("cfs.repair_block", "cfs");
   span.arg("block", block);
   span.arg("target", target);

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "cfs/minicfs.h"
+#include "qos/qos.h"
 
 namespace ear::cfs {
 
@@ -58,6 +59,7 @@ std::set<RackId> MiniCfs::live_stripe_racks(BlockId block) const {
 }
 
 void MiniCfs::replicate_block(BlockId block, NodeId dst) {
+  qos::OpScope op(qos::TrafficClass::kRepair);
   TransferScope in_flight(*this);
   std::vector<NodeId> locs = block_locations(block);
   std::vector<NodeId> live;

@@ -33,6 +33,13 @@ ThrottledTransport::ThrottledTransport(const Topology& topo,
     links_.push_back(std::move(link));
   }
 
+  if (config_.qos.enable) {
+    std::vector<double> spb;
+    spb.reserve(links_.size());
+    for (const auto& link : links_) spb.push_back(link->seconds_per_byte);
+    qos_ = std::make_unique<qos::QosScheduler>(spb, config_.qos);
+  }
+
   auto& reg = obs::Registry::instance();
   ctr_cross_ = &reg.counter("testbed.net.cross_rack_bytes");
   ctr_intra_ = &reg.counter("testbed.net.intra_rack_bytes");
@@ -58,7 +65,12 @@ void ThrottledTransport::local_read(NodeId node, Bytes size) {
 }
 
 ThrottledTransport::Clock::time_point ThrottledTransport::reserve(
-    int idx, Bytes bytes) {
+    int idx, Bytes bytes, bool charge) {
+  // Under QoS the link's slot is granted in weighted virtual-finish order
+  // for the calling thread's ambient (class, tenant) flow; otherwise the
+  // original FIFO timeline below applies.  Either way the reservation is
+  // for the same bytes on the same link — only its start time differs.
+  if (qos_) return qos_->request(idx, qos::current_context(), bytes, charge);
   Link& link = *links_[static_cast<size_t>(idx)];
   std::lock_guard<std::mutex> lock(link.mu);
   const auto now = Clock::now();
@@ -107,8 +119,12 @@ void ThrottledTransport::do_transfer(NodeId src, NodeId dst, Bytes size,
     Clock::time_point done = Clock::now();
     // The chunk occupies each link of the path; links operate in parallel
     // (cut-through), so the chunk lands when the slowest reservation ends.
+    // The QoS class budget is charged on the first hop only — a serial
+    // path must not be metered once per link.
+    bool charge = true;
     for (const int idx : path) {
-      done = std::max(done, reserve(idx, chunk));
+      done = std::max(done, reserve(idx, chunk, charge));
+      charge = false;
     }
     if (wait) std::this_thread::sleep_until(done);
   }
@@ -176,16 +192,23 @@ void ThrottledTransport::sample_links() {
   double worst_share = 0;
   for (size_t i = 0; i < links_.size(); ++i) {
     Link& link = *links_[i];
-    double backlog_s;
+    int64_t queued_bytes;
     double busy;
-    {
-      std::lock_guard<std::mutex> lock(link.mu);
-      backlog_s = std::max(
-          0.0, std::chrono::duration<double>(link.available_at - now).count());
-      busy = link.busy_seconds;
+    if (qos_) {
+      const auto s = qos_->sample(static_cast<int>(i), now);
+      queued_bytes = s.queued_bytes;
+      busy = s.busy_seconds;
+    } else {
+      double backlog_s;
+      {
+        std::lock_guard<std::mutex> lock(link.mu);
+        backlog_s = std::max(
+            0.0,
+            std::chrono::duration<double>(link.available_at - now).count());
+        busy = link.busy_seconds;
+      }
+      queued_bytes = static_cast<int64_t>(backlog_s / link.seconds_per_byte);
     }
-    const auto queued_bytes =
-        static_cast<int64_t>(backlog_s / link.seconds_per_byte);
     const double share =
         window > 0 ? std::min(1.0, (busy - prev_busy_[i]) / window) : 0.0;
     prev_busy_[i] = busy;

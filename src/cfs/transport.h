@@ -23,6 +23,7 @@
 
 #include "common/units.h"
 #include "obs/metrics.h"
+#include "qos/scheduler.h"
 #include "topology/topology.h"
 
 namespace ear::cfs {
@@ -58,6 +59,12 @@ class Transport {
 
   virtual int64_t cross_rack_bytes() const = 0;
   virtual int64_t intra_rack_bytes() const = 0;
+
+  // True when link time is granted by the QoS fair-share scheduler rather
+  // than FIFO arrival order.  Components with private throttles (the
+  // RepairManager's token bucket) stand down when the transport already
+  // enforces a class budget, so repair is not throttled twice.
+  virtual bool qos_enabled() const { return false; }
 };
 
 // Counts bytes, takes zero time.  For functional tests.  A nonzero
@@ -109,6 +116,11 @@ struct ThrottleConfig {
   // and with encode now ~16x faster than scalar the pipeline wants finer
   // chunks so transfer/compute overlap dominates, not per-chunk compute.
   Bytes pipeline_chunk = 256_KB;
+  // Fair-share scheduling (qos/scheduler.h).  With qos.enable the FIFO
+  // reservation timeline of every link is replaced by weighted fair queuing
+  // over (traffic class, tenant) flows; transfers are otherwise identical —
+  // same paths, same chunks, same bytes (invariant 11).
+  qos::QosConfig qos;
 };
 
 class ThrottledTransport final : public Transport {
@@ -127,6 +139,10 @@ class ThrottledTransport final : public Transport {
 
   int64_t cross_rack_bytes() const override { return cross_; }
   int64_t intra_rack_bytes() const override { return intra_; }
+
+  bool qos_enabled() const override { return qos_ != nullptr; }
+  // The scheduler behind qos_enabled(); tests poke budgets through it.
+  qos::QosScheduler* qos_scheduler() { return qos_.get(); }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -152,7 +168,9 @@ class ThrottledTransport final : public Transport {
   }
 
   // Reserves `bytes` on link `idx`; returns when the reservation ends.
-  Clock::time_point reserve(int idx, Bytes bytes);
+  // `charge` marks the one hop per chunk that draws the QoS class budget
+  // (no effect on the FIFO path).
+  Clock::time_point reserve(int idx, Bytes bytes, bool charge = true);
 
   void do_transfer(NodeId src, NodeId dst, Bytes size, bool wait);
 
@@ -168,6 +186,7 @@ class ThrottledTransport final : public Transport {
   Topology topo_;
   ThrottleConfig config_;
   std::vector<std::unique_ptr<Link>> links_;
+  std::unique_ptr<qos::QosScheduler> qos_;  // non-null when config_.qos.enable
   std::atomic<int64_t> cross_{0};
   std::atomic<int64_t> intra_{0};
 

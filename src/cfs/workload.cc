@@ -38,6 +38,7 @@ void WriteWorkload::generator_loop() {
 
     const NodeId writer = random_node(cfs_->topology(), rng_);
     requests_.emplace_back([this, writer] {
+      qos::InstallScope qscope(qctx_);
       const auto issue = Clock::now();
       const double issue_s =
           std::chrono::duration<double>(issue - epoch_).count();
@@ -89,6 +90,7 @@ void BackgroundTraffic::start() {
   running_ = true;
   for (const auto& [src, dst] : pairs_) {
     streams_.emplace_back([this, src = src, dst = dst] {
+      qos::InstallScope qscope(qctx_);
       const auto burst_interval = std::chrono::duration_cast<Clock::duration>(
           std::chrono::duration<double>(static_cast<double>(burst_) / rate_));
       auto next = Clock::now();

@@ -17,6 +17,7 @@
 
 #include "cfs/minicfs.h"
 #include "common/stats.h"
+#include "qos/qos.h"
 
 namespace ear::cfs {
 
@@ -28,6 +29,10 @@ class WriteWorkload {
 
   WriteWorkload(const WriteWorkload&) = delete;
   WriteWorkload& operator=(const WriteWorkload&) = delete;
+
+  // Attributes every write of this workload to a QoS flow (multi-tenant
+  // experiments); untagged workloads fall to the per-operation defaults.
+  void set_qos(qos::TransferContext ctx) { qctx_ = {ctx, true}; }
 
   void start();
   // Stops generating, waits for in-flight writes, then returns.
@@ -45,6 +50,7 @@ class WriteWorkload {
   double rate_;
   Rng rng_;
   std::vector<uint8_t> payload_;
+  qos::Captured qctx_;  // inactive unless set_qos was called
 
   std::atomic<bool> running_{false};
   std::atomic<int> completed_{0};
@@ -67,6 +73,9 @@ class BackgroundTraffic {
   BackgroundTraffic(const BackgroundTraffic&) = delete;
   BackgroundTraffic& operator=(const BackgroundTraffic&) = delete;
 
+  // Attributes the injected streams to a QoS flow (defaults to untagged).
+  void set_qos(qos::TransferContext ctx) { qctx_ = {ctx, true}; }
+
   void start();
   void stop();
 
@@ -75,6 +84,7 @@ class BackgroundTraffic {
   std::vector<std::pair<NodeId, NodeId>> pairs_;
   BytesPerSec rate_;
   Bytes burst_;
+  qos::Captured qctx_;
   std::atomic<bool> running_{false};
   std::vector<std::thread> streams_;
 };

@@ -14,4 +14,40 @@ std::string format_boxplot(const Summary& s) {
   return buf;
 }
 
+namespace {
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+LatencyPercentiles LatencyPercentiles::from(std::vector<double> samples) {
+  LatencyPercentiles out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  out.count = samples.size();
+  double acc = 0.0;
+  for (const double x : samples) acc += x;
+  out.mean = acc / static_cast<double>(samples.size());
+  out.p50 = percentile_sorted(samples, 0.50);
+  out.p90 = percentile_sorted(samples, 0.90);
+  out.p99 = percentile_sorted(samples, 0.99);
+  out.p999 = percentile_sorted(samples, 0.999);
+  out.max = samples.back();
+  return out;
+}
+
+std::string LatencyPercentiles::format() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "n=%5zu mean=%.4f p50=%.4f p90=%.4f p99=%.4f p999=%.4f", count,
+                mean, p50, p90, p99, p999);
+  return buf;
+}
+
 }  // namespace ear

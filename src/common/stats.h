@@ -81,4 +81,26 @@ class Summary {
 // Fixed-format boxplot row used by the figure-13 benches.
 std::string format_boxplot(const Summary& s);
 
+// The tail-latency summary the QoS experiments report per (tenant, class):
+// p50 / p90 / p99 / p999 plus mean and count, computed with one sort.  All
+// values are in the unit of the input samples (the benches feed seconds).
+struct LatencyPercentiles {
+  size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double max = 0.0;
+
+  // Linear-interpolation percentiles, same convention as Summary::percentile.
+  // Accepts unsorted input; an empty vector yields all zeros.
+  static LatencyPercentiles from(std::vector<double> samples);
+  static LatencyPercentiles from(const Summary& s) { return from(s.samples()); }
+
+  // "n=  120 mean=0.012 p50=0.010 p90=0.021 p99=0.043 p999=0.051" — the row
+  // format shared by bench_ext_qos and the latency tables in EXPERIMENTS.md.
+  std::string format() const;
+};
+
 }  // namespace ear

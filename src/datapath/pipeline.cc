@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "qos/qos.h"
 
 namespace ear::datapath {
 
@@ -60,7 +61,12 @@ void StagedPipeline::run(int chunks, const std::function<void(int)>& fetch,
   ChunkLadder computed;  // compute -> upload
   std::exception_ptr fetch_error;
 
+  // Stage threads move bytes on behalf of the caller's operation, so they
+  // inherit its (class, tenant) flow (see qos/qos.h).
+  const qos::Captured qctx = qos::capture();
+
   std::thread fetcher([&] {
+    qos::InstallScope qscope(qctx);
     obs::Span span("datapath.fetch", "datapath");
     span.arg("chunks", chunks);
     try {
@@ -77,6 +83,7 @@ void StagedPipeline::run(int chunks, const std::function<void(int)>& fetch,
   std::thread uploader;
   if (upload) {
     uploader = std::thread([&] {
+      qos::InstallScope qscope(qctx);
       obs::Span span("datapath.upload", "datapath");
       span.arg("chunks", chunks);
       for (int c = 0; c < chunks; ++c) {
@@ -163,10 +170,13 @@ void StagedPipeline::run_fanout(int chunks, int lanes,
   std::vector<std::exception_ptr> errors(static_cast<size_t>(lanes));
   std::atomic<bool> aborting{false};
 
+  const qos::Captured qctx = qos::capture();
+
   std::vector<std::thread> lane_threads;
   lane_threads.reserve(static_cast<size_t>(lanes));
   for (int l = 0; l < lanes; ++l) {
     lane_threads.emplace_back([&, l] {
+      qos::InstallScope qscope(qctx);
       gate.acquire();
       obs::Span span("datapath.fetch_lane", "datapath");
       span.arg("lane", l);
@@ -194,6 +204,7 @@ void StagedPipeline::run_fanout(int chunks, int lanes,
   std::thread uploader;
   if (upload) {
     uploader = std::thread([&] {
+      qos::InstallScope qscope(qctx);
       obs::Span span("datapath.upload", "datapath");
       span.arg("chunks", chunks);
       for (int c = 0; c < chunks; ++c) {

@@ -6,6 +6,7 @@
 
 #include "datapath/worker_pool.h"
 #include "obs/trace.h"
+#include "qos/qos.h"
 
 namespace ear::failure {
 
@@ -135,6 +136,10 @@ int RepairManager::schedule_rack(RackId rack) {
 void RepairManager::throttle(Bytes bytes, bool live_mode) {
   const BytesPerSec rate = config_.repair_bandwidth;
   if (rate <= 0) return;
+  // When the transport schedules with QoS, the repair budget is enforced
+  // there as the kRepair class rate — metering here too would throttle the
+  // same bytes twice.
+  if (cfs_->transport().qos_enabled()) return;
   double wait_s = 0;
   {
     std::lock_guard<std::mutex> lock(throttle_mu_);
@@ -150,6 +155,11 @@ void RepairManager::throttle(Bytes bytes, bool live_mode) {
     } else {
       wait_s = (static_cast<double>(bytes) - tokens_) / rate;
       tokens_ = 0;
+      // The wait itself pays the deficit: push the refill origin past the
+      // sleep, or the slept seconds would refill the bucket a second time
+      // and the effective rate would double under sustained load.
+      last_refill_ = now + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(wait_s));
     }
   }
   // drain() never sleeps: synchronous mode stays deterministic; the bucket
@@ -161,6 +171,9 @@ void RepairManager::throttle(Bytes bytes, bool live_mode) {
 
 RepairManager::Outcome RepairManager::attempt(const Task& task,
                                               bool live_mode) {
+  // Everything a repair task moves — decode fetches, re-replication copies —
+  // is repair traffic of the system tenant, whichever pool thread runs it.
+  qos::QosScope qscope(qos::TrafficClass::kRepair, 0);
   const BlockId block = task.block;
   obs::Span span("repair.task", "failure");
   span.arg("block", block);

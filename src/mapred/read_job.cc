@@ -8,6 +8,7 @@
 #include "datapath/worker_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "qos/qos.h"
 
 namespace ear::mapred {
 
@@ -44,6 +45,9 @@ ReadJobReport TestbedReadJob::run(const std::vector<BlockId>& blocks) {
   ReadJobReport report;
   std::mutex mu;  // guards the report across map tasks
   const auto job_start = Clock::now();
+  // Map tasks read on pool threads for the submitting job's (class, tenant)
+  // flow — a tenant-tagged MapReduce job stays that tenant's traffic.
+  const qos::Captured qctx = qos::capture();
   {
     datapath::TaskGroup maps(datapath::WorkerPool::shared(),
                              config_.map_slots);
@@ -58,7 +62,8 @@ ReadJobReport TestbedReadJob::run(const std::vector<BlockId>& blocks) {
           break;
         }
       }
-      maps.submit([this, block, reader, local, &mu, &report] {
+      maps.submit([this, block, reader, local, &mu, &report, qctx] {
+        qos::InstallScope qscope(qctx);
         const auto t0 = Clock::now();
         int64_t got = 0;
         bool ok = true;

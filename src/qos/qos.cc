@@ -1,0 +1,73 @@
+#include "qos/qos.h"
+
+namespace ear::qos {
+
+namespace {
+thread_local TransferContext tl_ctx;
+thread_local bool tl_active = false;
+}  // namespace
+
+const char* class_name(TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::kForegroundRead:
+      return "fg-read";
+    case TrafficClass::kForegroundWrite:
+      return "fg-write";
+    case TrafficClass::kBackgroundEncode:
+      return "bg-encode";
+    case TrafficClass::kRepair:
+      return "repair";
+  }
+  return "unknown";
+}
+
+std::string class_metric(TrafficClass cls, const char* suffix) {
+  return std::string("qos.class.") + class_name(cls) + "." + suffix;
+}
+
+TransferContext current_context() { return tl_ctx; }
+
+bool context_active() { return tl_active; }
+
+QosScope::QosScope(TransferContext ctx)
+    : prev_(tl_ctx), prev_active_(tl_active) {
+  tl_ctx = ctx;
+  tl_active = true;
+}
+
+QosScope::QosScope(TrafficClass cls, int tenant)
+    : QosScope(TransferContext{cls, tenant}) {}
+
+QosScope::~QosScope() {
+  tl_ctx = prev_;
+  tl_active = prev_active_;
+}
+
+OpScope::OpScope(TrafficClass cls) {
+  if (tl_active) return;  // an outer scope (operation or workload tag) wins
+  installed_ = true;
+  prev_ = tl_ctx;
+  tl_ctx.cls = cls;
+  tl_active = true;
+}
+
+OpScope::~OpScope() {
+  if (!installed_) return;
+  tl_ctx = prev_;
+  tl_active = false;
+}
+
+Captured capture() { return Captured{tl_ctx, tl_active}; }
+
+InstallScope::InstallScope(const Captured& captured)
+    : prev_(tl_ctx), prev_active_(tl_active) {
+  tl_ctx = captured.ctx;
+  tl_active = captured.active;
+}
+
+InstallScope::~InstallScope() {
+  tl_ctx = prev_;
+  tl_active = prev_active_;
+}
+
+}  // namespace ear::qos

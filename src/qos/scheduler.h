@@ -1,0 +1,246 @@
+// Weighted fair-share link scheduling (the QoS tentpole; DESIGN.md "QoS &
+// fair-share scheduling").
+//
+// Replaces the FIFO reservation discipline of ThrottledTransport's links
+// with per-link weighted fair queuing over (traffic class, tenant) flows:
+//
+//  * FairQueueCore — the deterministic WFQ heart: start-time/finish-time
+//    virtual clock (vstart = max(V, flow's last vfinish), vfinish = vstart
+//    + bytes / weight), requests granted in vfinish order with FIFO
+//    tie-break.  A flow's weight is class_weight x tenant_weight.  Pure
+//    state machine, no clock, no threads — qos_test drives it directly for
+//    the deterministic convergence proofs.
+//
+//  * LinkScheduler — one real link: a fluid reservation timeline (like the
+//    old FIFO Link) plus a FairQueueCore deciding *which* queued request
+//    gets the next timeline slot.  The timeline may run at most
+//    `grant_horizon` seconds ahead of real time; arrivals beyond that wait,
+//    so ordering decisions bind as late as possible (that lateness is what
+//    turns weight ratios into real bandwidth ratios).  Work-conserving: an
+//    idle link grants immediately, and any backlogged flow inherits idle
+//    classes' share.  Optional per-class token-bucket ceilings (the repair
+//    budget) are enforced at grant time: an over-budget class's requests
+//    are skipped — not reordered away, merely deferred — and the link hands
+//    the slot to the next admissible vfinish.
+//
+//  * QosScheduler — the cluster view: all links of one transport plus the
+//    periodic controller that re-splits each class's *global* byte budget
+//    across links proportional to observed per-link demand (EWMA), so e.g.
+//    a single hot rack up-link can spend the entire cluster repair budget
+//    instead of 1/L of it (YTsaurus distributed_throttler's scheme).
+//
+// Everything here decides only *when* a reservation is granted — payload
+// routing and contents are untouched (invariant 11).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/metrics.h"
+#include "qos/qos.h"
+
+namespace ear::qos {
+
+struct QosConfig {
+  bool enable = false;
+  // Relative link share per traffic class while backlogged.  Defaults favor
+  // foreground traffic 4:1 over background encode and repair.
+  double class_weight[kClassCount] = {4.0, 4.0, 1.0, 1.0};
+  // Per-tenant multiplier within a class (absent tenants weigh 1.0).
+  // Effective flow weight = class_weight[cls] * tenant_weight[tenant].
+  std::map<int, double> tenant_weight;
+  // Cluster-wide rate ceiling per class in bytes/s; 0 = uncapped (purely
+  // work-conserving).  This is where the RepairManager's old private token
+  // bucket lives now: set class_rate[kRepair] to the repair budget.
+  BytesPerSec class_rate[kClassCount] = {0, 0, 0, 0};
+  // Controller tick re-splitting global class budgets across links by
+  // observed demand; 0 = static equal split, no controller thread.
+  Seconds rebalance_period = 0.05;
+  // How far a link's reservation timeline may run ahead of real time before
+  // arrivals queue in virtual-finish order.  Small = late binding (fair);
+  // large degenerates toward the old FIFO.
+  Seconds grant_horizon = 0.002;
+};
+
+// ------------------------------------------------------------ FairQueueCore
+
+class FairQueueCore {
+ public:
+  struct Request {
+    uint64_t id = 0;
+    int class_idx = 0;
+    int tenant = 0;
+    Bytes bytes = 0;
+    // Whether this request draws from its class's byte budget.  A transfer
+    // spanning several links charges the budget exactly once (its first
+    // link); the other hops still schedule in fair order but are not
+    // metered, so a serial path is not throttled once per hop.
+    bool charge = true;
+    double vstart = 0;
+    double vfinish = 0;
+  };
+
+  explicit FairQueueCore(const QosConfig& config);
+
+  double weight_of(const TransferContext& ctx) const;
+
+  // Enqueues a request and returns its ticket id.
+  uint64_t add(const TransferContext& ctx, Bytes bytes, bool charge);
+
+  // Pops the first request in (vfinish, arrival) order that `admit`
+  // accepts, advancing virtual time to its vstart.  Returns false when the
+  // queue is empty or nothing is admissible.
+  bool grant_next(const std::function<bool(const Request&)>& admit,
+                  Request* out);
+
+  bool empty() const { return queue_.empty(); }
+  size_t size() const { return queue_.size(); }
+  // Queued requests of one class (budget-deferral introspection).
+  size_t class_size(int class_idx) const;
+  // Smallest queued request of `class_idx`; 0 when none (token wake hints).
+  Bytes min_bytes(int class_idx) const;
+
+ private:
+  struct FlowKey {
+    int class_idx;
+    int tenant;
+    bool operator<(const FlowKey& o) const {
+      return class_idx != o.class_idx ? class_idx < o.class_idx
+                                      : tenant < o.tenant;
+    }
+  };
+
+  const QosConfig config_;
+  double vtime_ = 0;
+  uint64_t next_id_ = 1;
+  std::map<FlowKey, double> flow_vfinish_;
+  // (vfinish, id) -> request; id is monotonically increasing, so equal
+  // vfinish tags resolve FIFO.
+  std::map<std::pair<double, uint64_t>, Request> queue_;
+  size_t class_count_[kClassCount] = {0, 0, 0, 0};
+};
+
+// ------------------------------------------------------------ LinkScheduler
+
+class LinkScheduler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  LinkScheduler(double seconds_per_byte, const QosConfig& config);
+
+  // Blocks until the request is granted a timeline slot; returns the time
+  // the reservation ends (the caller sleeps until then for a delivered
+  // transfer, or not at all for injected traffic).  `charge` = this hop
+  // draws from the class byte budget (one hop per transfer chunk does).
+  Clock::time_point request(const TransferContext& ctx, Bytes bytes,
+                            bool charge = true);
+
+  // Controller interface: this link's current byte budget for a class.
+  void set_class_rate(int class_idx, BytesPerSec rate);
+  // Bytes requested per class since the previous call (demand signal).
+  int64_t take_demand(int class_idx);
+
+  // Sampler interface.
+  struct Sample {
+    int64_t queued_bytes = 0;   // timeline backlog + waiting requests
+    double busy_seconds = 0;    // cumulative reserved seconds
+    int64_t waiting = 0;        // queued (not yet granted) requests
+  };
+  Sample sample(Clock::time_point now) const;
+
+ private:
+  struct TokenBucket {
+    BytesPerSec rate = 0;  // 0 = uncapped
+    double tokens = 0;
+    Clock::time_point last_refill{};
+  };
+
+  bool admit_locked(int class_idx, Bytes bytes) const;
+  void refill_locked(Clock::time_point now);
+  // Grants every admissible head request while the timeline is within the
+  // horizon.  Caller holds mu_.
+  void try_grant_locked(Clock::time_point now);
+  // Earliest instant another grant could become possible.  Caller holds mu_.
+  Clock::time_point next_event_locked(Clock::time_point now) const;
+
+  const double seconds_per_byte_;
+  const QosConfig config_;
+  const Clock::duration horizon_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  FairQueueCore core_;
+  struct Grant {
+    bool granted = false;
+    Clock::time_point end{};
+  };
+  std::map<uint64_t, Grant> grants_;  // ticket -> grant state
+  Clock::time_point available_at_{};
+  double busy_seconds_ = 0;
+  int64_t waiting_bytes_ = 0;
+  TokenBucket buckets_[kClassCount];
+  int64_t demand_[kClassCount] = {0, 0, 0, 0};
+};
+
+// ------------------------------------------------------------- QosScheduler
+
+class QosScheduler {
+ public:
+  using Clock = LinkScheduler::Clock;
+
+  // One LinkScheduler per entry of `seconds_per_byte` (index-compatible
+  // with the transport's link table).
+  QosScheduler(const std::vector<double>& seconds_per_byte,
+               const QosConfig& config);
+  ~QosScheduler();
+
+  QosScheduler(const QosScheduler&) = delete;
+  QosScheduler& operator=(const QosScheduler&) = delete;
+
+  // Blocks until granted; returns the reservation end.  Also feeds the
+  // qos.class.* byte counters (charged hops only, so a transfer's bytes
+  // count once) and the grant-latency histogram.
+  Clock::time_point request(int link, const TransferContext& ctx, Bytes bytes,
+                            bool charge = true);
+
+  LinkScheduler::Sample sample(int link, Clock::time_point now) const {
+    return links_[static_cast<size_t>(link)]->sample(now);
+  }
+
+  const QosConfig& config() const { return config_; }
+
+  // Total queued (not yet granted) requests across all links.
+  int64_t total_waiting() const;
+
+ private:
+  void controller_loop();
+  void rebalance();
+
+  const QosConfig config_;
+  std::vector<std::unique_ptr<LinkScheduler>> links_;
+
+  // Controller state: EWMA of per-link demand, one row per class.
+  std::vector<std::vector<double>> demand_ewma_;
+
+  std::thread controller_;
+  std::mutex controller_mu_;
+  std::condition_variable controller_cv_;
+  bool controller_stop_ = false;
+
+  obs::Counter* ctr_bytes_[kClassCount] = {};
+  obs::Counter* ctr_grants_[kClassCount] = {};
+  obs::Gauge* gauge_queued_[kClassCount] = {};
+  obs::Histogram* hist_grant_latency_;
+  std::mutex queued_mu_;
+  int64_t queued_bytes_[kClassCount] = {0, 0, 0, 0};
+};
+
+}  // namespace ear::qos

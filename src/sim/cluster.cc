@@ -229,6 +229,10 @@ void ClusterSim::start_stripe(EncodeProcess& proc) {
     start_stripe_ecdag(proc, sources);
     return;
   }
+  if (config_.encode_pipeline_chunks > 1) {
+    start_stripe_pipelined(proc, sources);
+    return;
+  }
 
   for (const NodeId src : sources) {
     ++proc.pending_transfers;
@@ -309,6 +313,121 @@ void ClusterSim::start_stripe_ecdag(EncodeProcess& proc,
   if (proc.pending_transfers == 0) {
     engine_.schedule_in(0.0, [this, &proc] { finish_stripe(proc); });
   }
+}
+
+// Chunk-pipelined encode (SimConfig::encode_pipeline_chunks > 1): the
+// testbed's staged fetch -> compute -> upload ladder at chunk granularity.
+// Stage rules mirror datapath::StagedPipeline: downloads run serially per
+// chunk (one fetch lane), compute consumes downloaded chunks in order, and
+// parity uploads trail compute in order — so chunk c + 1's download overlaps
+// chunk c's compute and chunk c - 1's upload, and a stripe costs roughly
+// max(download, compute, upload) instead of their sum.  Per-chunk compute is
+// encode_compute_seconds / chunks.  The virtual clock, not threads, provides
+// the overlap; at chunks == 1 callers take the legacy serial branch instead.
+void ClusterSim::start_stripe_pipelined(EncodeProcess& proc,
+                                        const std::vector<NodeId>& sources) {
+  const EncodePlan& plan = plans_[proc.stripe_index];
+  const int chunks = config_.encode_pipeline_chunks;
+  const Seconds compute_per_chunk =
+      config_.encode_compute_seconds / static_cast<double>(chunks);
+
+  struct State {
+    int chunks = 0;
+    int downloaded = 0;
+    int computed = 0;
+    int uploaded = 0;
+    bool computing = false;
+    bool uploading = false;
+    Seconds download_begin = 0;
+    Seconds upload_begin = -1;
+    std::function<void(int)> start_download;
+    std::function<void()> maybe_compute;
+    std::function<void()> maybe_upload;
+  };
+  auto st = std::make_shared<State>();
+  st->chunks = chunks;
+  st->download_begin = engine_.now();
+
+  const Bytes base = config_.block_size / chunks;
+  const Bytes rem = config_.block_size % chunks;
+  auto chunk_len = [base, rem](int c) {
+    return base + (static_cast<Bytes>(c) < rem ? 1 : 0);
+  };
+
+  st->start_download = [this, st, &proc, sources, &plan, chunk_len](int c) {
+    // One completion per source plus a sentinel so `done` fires exactly once
+    // even when every source is the encoder itself (all disk reads free).
+    auto pending = std::make_shared<int>(1);
+    auto done = [this, st, &proc, c, pending] {
+      if (--*pending != 0) return;
+      st->downloaded = c + 1;
+      if (c + 1 < st->chunks) {
+        st->start_download(c + 1);
+      } else if (obs::trace_enabled()) {
+        obs::sim_complete("sim.encode.download", "sim.encode",
+                          st->download_begin, engine_.now(),
+                          encode_track(proc.id),
+                          {{"stripe", stripes_[proc.stripe_index]}});
+      }
+      st->maybe_compute();
+    };
+    const Bytes len = chunk_len(c);
+    for (const NodeId src : sources) {
+      ++*pending;
+      if (src == plan.encoder) {
+        network_.start_disk_read(src, len, done);
+      } else {
+        network_.start_transfer(src, plan.encoder, len, done);
+      }
+    }
+    engine_.schedule_in(0.0, done);  // release the sentinel
+  };
+
+  st->maybe_compute = [this, st, compute_per_chunk] {
+    if (st->computing || st->computed >= st->downloaded) return;
+    st->computing = true;
+    engine_.schedule_in(compute_per_chunk, [st] {
+      st->computing = false;
+      ++st->computed;
+      st->maybe_compute();
+      st->maybe_upload();
+    });
+  };
+
+  st->maybe_upload = [this, st, &proc, &plan, chunk_len] {
+    if (st->uploading || st->uploaded >= st->computed) return;
+    st->uploading = true;
+    if (st->upload_begin < 0) st->upload_begin = engine_.now();
+    const int c = st->uploaded;
+    auto pending = std::make_shared<int>(1);
+    auto done = [this, st, &proc, pending] {
+      if (--*pending != 0) return;
+      st->uploading = false;
+      ++st->uploaded;
+      if (st->uploaded < st->chunks) {
+        st->maybe_upload();
+        return;
+      }
+      // Whole stripe pipelined through.  Hand the tail (relocation ablation,
+      // completion bookkeeping, next stripe) to finish_stripe's kUpload arm,
+      // and break the State's self-referential std::function cycle so the
+      // shared_ptr can actually free it.
+      proc.phase = EncodeProcess::Phase::kUpload;
+      proc.phase_start = st->upload_begin;
+      st->start_download = nullptr;
+      st->maybe_compute = nullptr;
+      st->maybe_upload = nullptr;
+      finish_stripe(proc);
+    };
+    for (const NodeId dst : plan.parity) {
+      if (dst == plan.encoder) continue;
+      ++*pending;
+      network_.start_transfer(plan.encoder, dst, chunk_len(c), done);
+    }
+    engine_.schedule_in(0.0, done);  // release the sentinel
+  };
+
+  st->start_download(0);
 }
 
 void ClusterSim::finish_stripe(EncodeProcess& proc) {

@@ -57,6 +57,15 @@ struct SimConfig {
   // Reed-Solomon encode time of the testbed; 0 models compute as free.
   Seconds encode_compute_seconds = 0.0;
 
+  // Chunk-pipelined encode: split each block into this many chunks and
+  // overlap the stages the way the testbed's StagedPipeline does — chunk
+  // c + 1 downloads while chunk c computes and chunk c - 1's parity uploads
+  // (downloads serial per chunk, compute in order, uploads trailing).
+  // 1 (default) is the legacy serial download -> compute -> upload model,
+  // exactly; > 1 lets Figure 13 sweeps predict the testbed's pipelined
+  // numbers.
+  int encode_pipeline_chunks = 1;
+
   // Distributed-encode DAGs (src/ecdag/): each remote rack XOR-combines its
   // data blocks locally and ships one partial per parity block across the
   // core switch instead of every raw block, mirroring
@@ -133,6 +142,8 @@ class ClusterSim {
   void start_stripe(EncodeProcess& proc);
   void start_stripe_ecdag(EncodeProcess& proc,
                           const std::vector<NodeId>& sources);
+  void start_stripe_pipelined(EncodeProcess& proc,
+                              const std::vector<NodeId>& sources);
   void finish_stripe(EncodeProcess& proc);
   void on_all_encoding_done();
   void run_repair_drill();

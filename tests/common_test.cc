@@ -190,6 +190,51 @@ TEST(Summary, FormatBoxplotContainsFields) {
   EXPECT_NE(out.find("max="), std::string::npos);
 }
 
+TEST(LatencyPercentiles, KnownDistribution) {
+  // 1..1000: p50 interpolates to 500.5, p99 to 990.01, p999 to 999.001.
+  std::vector<double> v;
+  for (int i = 1000; i >= 1; --i) v.push_back(i);  // unsorted on purpose
+  const auto p = LatencyPercentiles::from(std::move(v));
+  EXPECT_EQ(p.count, 1000u);
+  EXPECT_DOUBLE_EQ(p.mean, 500.5);
+  EXPECT_NEAR(p.p50, 500.5, 1e-9);
+  EXPECT_NEAR(p.p90, 900.1, 1e-9);
+  EXPECT_NEAR(p.p99, 990.01, 1e-9);
+  EXPECT_NEAR(p.p999, 999.001, 1e-9);
+  EXPECT_DOUBLE_EQ(p.max, 1000.0);
+}
+
+TEST(LatencyPercentiles, TailOrdering) {
+  Summary s;
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) s.add(rng.uniform_double(0, 1));
+  const auto p = LatencyPercentiles::from(s);
+  EXPECT_LE(p.p50, p.p90);
+  EXPECT_LE(p.p90, p.p99);
+  EXPECT_LE(p.p99, p.p999);
+  EXPECT_LE(p.p999, p.max);
+}
+
+TEST(LatencyPercentiles, EmptyAndSingle) {
+  const auto empty = LatencyPercentiles::from(std::vector<double>{});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p999, 0.0);
+
+  const auto one = LatencyPercentiles::from({0.125});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.p50, 0.125);
+  EXPECT_DOUBLE_EQ(one.p999, 0.125);
+  EXPECT_DOUBLE_EQ(one.mean, 0.125);
+}
+
+TEST(LatencyPercentiles, FormatContainsFields) {
+  const auto p = LatencyPercentiles::from({0.01, 0.02, 0.03});
+  const std::string out = p.format();
+  EXPECT_NE(out.find("p50="), std::string::npos);
+  EXPECT_NE(out.find("p99="), std::string::npos);
+  EXPECT_NE(out.find("p999="), std::string::npos);
+}
+
 // ------------------------------------------------------------------ units
 
 TEST(Units, LiteralsAndConversions) {

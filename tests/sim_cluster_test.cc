@@ -114,6 +114,56 @@ TEST(ClusterSim, NoWriteTrafficStillEncodes) {
   EXPECT_EQ(result.writes_completed, 0);
 }
 
+TEST(ClusterSim, PipelinedEncodeRunsToCompletion) {
+  auto cfg = small_config(true);
+  cfg.encode_pipeline_chunks = 4;
+  cfg.encode_compute_seconds = 0.2;
+  const SimResult result = ClusterSim(cfg).run();
+  EXPECT_EQ(result.stripes_encoded, 20);
+  EXPECT_GT(result.encode_end, result.encode_begin);
+  EXPECT_GT(result.encode_throughput_mbps, 0.0);
+}
+
+TEST(ClusterSim, PipelinedEncodeNoSlowerThanSerial) {
+  // With nonzero compute the staged overlap must hide (part of) the compute
+  // and upload time behind the downloads; with compute = 0 it still overlaps
+  // uploads with later downloads.  Quiesce the generators so the comparison
+  // is deterministic.
+  for (const double compute : {0.0, 0.5}) {
+    auto serial_cfg = small_config(true);
+    serial_cfg.write_rate = 0.0;
+    serial_cfg.background_rate = 0.0;
+    serial_cfg.encode_compute_seconds = compute;
+    auto piped_cfg = serial_cfg;
+    piped_cfg.encode_pipeline_chunks = 8;
+    const SimResult serial = ClusterSim(serial_cfg).run();
+    const SimResult piped = ClusterSim(piped_cfg).run();
+    EXPECT_LE(piped.encode_end, serial.encode_end + 1e-9)
+        << "compute=" << compute;
+    if (compute > 0) {
+      EXPECT_LT(piped.encode_end, serial.encode_end) << "compute=" << compute;
+    }
+  }
+}
+
+TEST(ClusterSim, PipelinedEncodeMovesIdenticalBytes) {
+  // Pipelining changes when bytes move, never which bytes: same seed, same
+  // placements, so the per-category byte totals must match the serial model.
+  auto serial_cfg = small_config(true);
+  serial_cfg.write_rate = 0.0;
+  serial_cfg.background_rate = 0.0;
+  serial_cfg.encode_compute_seconds = 0.1;
+  auto piped_cfg = serial_cfg;
+  piped_cfg.encode_pipeline_chunks = 5;
+  const SimResult serial = ClusterSim(serial_cfg).run();
+  const SimResult piped = ClusterSim(piped_cfg).run();
+  EXPECT_EQ(piped.cross_rack_bytes, serial.cross_rack_bytes);
+  EXPECT_EQ(piped.intra_rack_bytes, serial.intra_rack_bytes);
+  EXPECT_EQ(piped.encoding_cross_rack_downloads,
+            serial.encoding_cross_rack_downloads);
+  EXPECT_EQ(piped.stripes_encoded, serial.stripes_encoded);
+}
+
 TEST(ClusterSim, MeanLayoutIterationsReportedForEar) {
   const SimResult ear = ClusterSim(small_config(true)).run();
   EXPECT_GE(ear.mean_layout_iterations, 1.0);
